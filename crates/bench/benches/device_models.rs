@@ -1,0 +1,30 @@
+//! Microbenchmarks for the device-model substrate (Fig. 1 machinery):
+//! body-bias response evaluation and full library characterization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbb_device::{BiasLadder, BiasVoltage, BodyBiasModel, Library};
+use std::hint::black_box;
+
+fn bench_device(c: &mut Criterion) {
+    let model = BodyBiasModel::date09_45nm();
+    let ladder = BiasLadder::date09().expect("valid ladder");
+    let library = Library::date09_45nm();
+
+    c.bench_function("bias_response_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for mv in (0..=950).step_by(10) {
+                let v = BiasVoltage::from_millivolts(mv);
+                acc += model.delay_factor(black_box(v)) + model.total_leakage_multiplier(v);
+            }
+            acc
+        })
+    });
+
+    c.bench_function("library_characterization", |b| {
+        b.iter(|| library.characterize(black_box(&model), black_box(&ladder)))
+    });
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Solver benchmarks: LP relaxations and MIP solves of FBB-shaped models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbb_lp::{solve_lp, solve_mip, MipOptions, Model, Sense};
+use std::hint::black_box;
+
+/// A synthetic FBB-shaped model: n rows x p levels assignment + coverage.
+fn fbb_like_model(rows: usize, levels: usize, paths: usize) -> Model {
+    let mut m = Model::new();
+    let x: Vec<Vec<usize>> = (0..rows)
+        .map(|i| (0..levels).map(|j| m.add_binary((1.2f64).powi(j as i32) * (1.0 + i as f64 * 0.01))).collect())
+        .collect();
+    for row in &x {
+        let terms = row.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(terms, Sense::Eq, 1.0).expect("valid");
+    }
+    for k in 0..paths {
+        let mut terms = Vec::new();
+        for i in 0..rows {
+            if (i + k) % 3 == 0 {
+                for j in 0..levels {
+                    terms.push((x[i][j], j as f64));
+                }
+            }
+        }
+        if !terms.is_empty() {
+            m.add_constraint(terms, Sense::Ge, (levels / 2) as f64).expect("valid");
+        }
+    }
+    m
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let small = fbb_like_model(13, 11, 30);
+    c.bench_function("lp_relaxation_13x11", |b| {
+        b.iter(|| solve_lp(black_box(&small)).expect("solves"))
+    });
+
+    c.bench_function("mip_13x11_30paths", |b| {
+        b.iter(|| solve_mip(black_box(&small), &MipOptions::default(), None).expect("solves"))
+    });
+
+    let medium = fbb_like_model(28, 11, 60);
+    c.bench_function("lp_relaxation_28x11", |b| {
+        b.iter(|| solve_lp(black_box(&medium)).expect("solves"))
+    });
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

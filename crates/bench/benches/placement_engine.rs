@@ -1,0 +1,34 @@
+//! Placer benchmarks: cone ordering + packing + annealing on a
+//! mid-size (c7552-class) block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbb_device::Library;
+use fbb_netlist::generators;
+use fbb_placement::{Placer, PlacerOptions};
+use std::hint::black_box;
+
+fn bench_placement(c: &mut Criterion) {
+    let nl = generators::adder_comparator("ac34", 34).expect("valid generator");
+    let library = Library::date09_45nm();
+
+    c.bench_function("place_500_gates_no_anneal", |b| {
+        let placer = Placer::new(PlacerOptions {
+            target_rows: Some(12),
+            anneal_moves: 0,
+            ..PlacerOptions::default()
+        });
+        b.iter(|| placer.place(black_box(&nl), &library).expect("placeable"))
+    });
+
+    c.bench_function("place_500_gates_annealed", |b| {
+        let placer = Placer::new(PlacerOptions {
+            target_rows: Some(12),
+            anneal_moves: 5_000,
+            ..PlacerOptions::default()
+        });
+        b.iter(|| placer.place(black_box(&nl), &library).expect("placeable"))
+    });
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

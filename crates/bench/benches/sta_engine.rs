@@ -1,0 +1,35 @@
+//! STA benchmarks: graph build, arrival/tail analysis, and critical-path-set
+//! extraction on c6288-class logic (the paper's hardest timing instance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbb_device::{BiasLadder, BodyBiasModel, Library};
+use fbb_netlist::generators;
+use fbb_sta::TimingGraph;
+use std::hint::black_box;
+
+fn bench_sta(c: &mut Criterion) {
+    let nl = generators::array_multiplier("m16", 16).expect("valid generator");
+    let library = Library::date09_45nm();
+    let chara = library.characterize(
+        &BodyBiasModel::date09_45nm(),
+        &BiasLadder::date09().expect("valid ladder"),
+    );
+    let delays: Vec<f64> = nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0)).collect();
+
+    c.bench_function("timing_graph_build_2400_gates", |b| {
+        b.iter(|| TimingGraph::new(black_box(&nl)).expect("acyclic"))
+    });
+
+    let graph = TimingGraph::new(&nl).expect("acyclic");
+    c.bench_function("sta_analyze_2400_gates", |b| {
+        b.iter(|| graph.analyze(black_box(&delays)).dcrit_ps())
+    });
+
+    let analysis = graph.analyze(&delays);
+    c.bench_function("critical_path_set_extraction", |b| {
+        b.iter(|| analysis.critical_path_set().len())
+    });
+}
+
+criterion_group!(benches, bench_sta);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! The `CheckTiming` routine (paper Fig. 4) and its incremental variant.
+
+use crate::Preprocessed;
+
+/// Checks a row→level assignment against every timing constraint.
+///
+/// Returns `Ok(())` when all paths of Π meet `Dcrit`, or `Err(k)` with the
+/// index of the first violated path (the paper's routine returns a plain
+/// boolean; the index is free and useful for diagnostics).
+///
+/// # Errors
+///
+/// `Err(path_index)` identifies the first violated constraint.
+pub fn check_timing(pre: &Preprocessed, assignment: &[usize]) -> Result<(), usize> {
+    assert_eq!(assignment.len(), pre.n_rows, "one level per row required");
+    for (k, path) in pre.paths.iter().enumerate() {
+        if !path.satisfied(assignment) {
+            return Err(k);
+        }
+    }
+    Ok(())
+}
+
+/// Incremental timing checker: maintains per-path reductions so that moving
+/// one row between levels costs `O(paths touching that row)` instead of a
+/// full re-check — this is what makes the two-pass heuristic's inner loop
+/// linear in practice.
+#[derive(Debug, Clone)]
+pub struct CheckState<'p> {
+    pre: &'p Preprocessed,
+    assignment: Vec<usize>,
+    /// Current total reduction per path.
+    reduction: Vec<f64>,
+    /// Paths touching each row.
+    row_paths: Vec<Vec<usize>>,
+    /// Number of currently violated paths.
+    violations: usize,
+}
+
+impl<'p> CheckState<'p> {
+    /// Initializes the state for an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != pre.n_rows`.
+    pub fn new(pre: &'p Preprocessed, assignment: Vec<usize>) -> Self {
+        assert_eq!(assignment.len(), pre.n_rows, "one level per row required");
+        let mut row_paths = vec![Vec::new(); pre.n_rows];
+        let mut reduction = Vec::with_capacity(pre.paths.len());
+        let mut violations = 0;
+        for (k, path) in pre.paths.iter().enumerate() {
+            let red = path.reduction(&assignment);
+            if red + 1e-9 < path.required_reduction_ps {
+                violations += 1;
+            }
+            reduction.push(red);
+            for (row, _) in &path.rows {
+                row_paths[*row].push(k);
+            }
+        }
+        CheckState { pre, assignment, reduction, row_paths, violations }
+    }
+
+    /// Current assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Whether every constraint currently holds.
+    pub fn feasible(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// Moves `row` to `level`, updating affected paths incrementally.
+    pub fn set_level(&mut self, row: usize, level: usize) {
+        let old = self.assignment[row];
+        if old == level {
+            return;
+        }
+        for &k in &self.row_paths[row] {
+            let path = &self.pre.paths[k];
+            let (_, reds) = path
+                .rows
+                .iter()
+                .find(|(r, _)| *r == row)
+                .expect("row_paths index is consistent");
+            let before_ok = self.reduction[k] + 1e-9 >= path.required_reduction_ps;
+            self.reduction[k] += reds[level] - reds[old];
+            let after_ok = self.reduction[k] + 1e-9 >= path.required_reduction_ps;
+            match (before_ok, after_ok) {
+                (true, false) => self.violations += 1,
+                (false, true) => self.violations -= 1,
+                _ => {}
+            }
+        }
+        self.assignment[row] = level;
+    }
+
+    /// Moves `row` to `level` and reports feasibility; reverts the move if
+    /// it breaks timing. Returns whether the move was kept.
+    pub fn try_set_level(&mut self, row: usize, level: usize) -> bool {
+        let old = self.assignment[row];
+        self.set_level(row, level);
+        if self.feasible() {
+            true
+        } else {
+            self.set_level(row, old);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FbbProblem, Preprocessed};
+    use fbb_device::{BiasLadder, BodyBiasModel, Library};
+    use fbb_netlist::generators;
+    use fbb_placement::{Placer, PlacerOptions};
+
+    fn pre() -> Preprocessed {
+        let nl = generators::ripple_adder("a24", 24, false).unwrap();
+        let lib = Library::date09_45nm();
+        let p = Placer::new(PlacerOptions::with_target_rows(6)).place(&nl, &lib).unwrap();
+        let chara = lib.characterize(&BodyBiasModel::date09_45nm(), &BiasLadder::date09().unwrap());
+        FbbProblem::new(&nl, &p, &chara, 0.05, 3).unwrap().preprocess().unwrap()
+    }
+
+    #[test]
+    fn full_check_matches_path_predicate() {
+        let pre = pre();
+        let nbb = vec![0usize; pre.n_rows];
+        assert!(check_timing(&pre, &nbb).is_err());
+        let max = vec![pre.levels - 1; pre.n_rows];
+        assert!(check_timing(&pre, &max).is_ok());
+    }
+
+    #[test]
+    fn incremental_matches_full_check_under_random_moves() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let pre = pre();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut state = CheckState::new(&pre, vec![pre.levels - 1; pre.n_rows]);
+        for _ in 0..300 {
+            let row = rng.gen_range(0..pre.n_rows);
+            let level = rng.gen_range(0..pre.levels);
+            state.set_level(row, level);
+            assert_eq!(
+                state.feasible(),
+                check_timing(&pre, state.assignment()).is_ok(),
+                "divergence at assignment {:?}",
+                state.assignment()
+            );
+        }
+    }
+
+    #[test]
+    fn try_set_level_reverts_on_violation() {
+        let pre = pre();
+        let mut state = CheckState::new(&pre, vec![pre.levels - 1; pre.n_rows]);
+        assert!(state.feasible());
+        // Find a row whose drop to NBB violates timing (the most critical
+        // row usually does); if some row tolerates it, the move is kept.
+        for row in 0..pre.n_rows {
+            let before = state.assignment()[row];
+            let kept = state.try_set_level(row, 0);
+            if kept {
+                assert_eq!(state.assignment()[row], 0);
+                state.set_level(row, before); // restore for next iteration
+            } else {
+                assert_eq!(state.assignment()[row], before);
+            }
+            assert!(state.feasible());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Core allocation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving an FBB allocation problem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FbbError {
+    /// Invalid problem parameters (β, cluster budget, ...).
+    InvalidProblem(String),
+    /// The netlist/placement pair is inconsistent.
+    Placement(fbb_placement::PlacementError),
+    /// Timing-graph construction failed.
+    Netlist(fbb_netlist::NetlistError),
+    /// The ILP solver failed numerically.
+    Solver(fbb_lp::LpError),
+    /// No uniform bias voltage can compensate the requested slowdown
+    /// (PassOne failed): the design cannot be rescued by FBB at this β.
+    Uncompensable {
+        /// The requested slowdown coefficient.
+        beta: f64,
+    },
+}
+
+impl fmt::Display for FbbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FbbError::InvalidProblem(msg) => write!(f, "invalid FBB problem: {msg}"),
+            FbbError::Placement(e) => write!(f, "placement error: {e}"),
+            FbbError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FbbError::Solver(e) => write!(f, "solver error: {e}"),
+            FbbError::Uncompensable { beta } => write!(
+                f,
+                "no bias voltage on the ladder compensates a slowdown of {:.1}%",
+                beta * 100.0
+            ),
+        }
+    }
+}
+
+impl Error for FbbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FbbError::Placement(e) => Some(e),
+            FbbError::Netlist(e) => Some(e),
+            FbbError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fbb_placement::PlacementError> for FbbError {
+    fn from(e: fbb_placement::PlacementError) -> Self {
+        FbbError::Placement(e)
+    }
+}
+
+impl From<fbb_netlist::NetlistError> for FbbError {
+    fn from(e: fbb_netlist::NetlistError) -> Self {
+        FbbError::Netlist(e)
+    }
+}
+
+impl From<fbb_lp::LpError> for FbbError {
+    fn from(e: fbb_lp::LpError) -> Self {
+        FbbError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FbbError::Uncompensable { beta: 0.25 };
+        assert!(e.to_string().contains("25.0%"));
+        assert!(e.source().is_none());
+        let e: FbbError = fbb_lp::LpError::IterationLimit.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FbbError>();
+    }
+}

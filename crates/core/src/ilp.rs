@@ -1,0 +1,265 @@
+//! The exact ILP formulation (paper Eq. 1–5).
+
+use std::time::{Duration, Instant};
+
+use fbb_lp::{solve_mip, MipOptions, MipStatus, Model, Sense};
+
+use crate::{ClusterSolution, FbbError, Preprocessed, TwoPassHeuristic};
+
+/// Exact set-partitioning allocator.
+///
+/// Variables `x[i][j]` assign row `i` to bias level `j`; auxiliary binaries
+/// `y[j]` open level `j` as a cluster:
+///
+/// * objective (Eq. 1): `min Σ L[i][j]·x[i][j]`;
+/// * timing (Eq. 2): `Σ a[i][j][k]·x[i][j] ≥ b_k` for every path `k` of Π;
+/// * assignment (Eq. 3): `Σ_j x[i][j] = 1` per row;
+/// * cluster linking and budget (Eq. 4): `Σ_i x[i][j] ≤ N·y[j]`,
+///   `Σ_j y[j] ≤ C` (the paper's big constant `F` is `N` here — the
+///   tightest valid choice);
+/// * integrality (Eq. 5).
+///
+/// The solver is warm-started with the two-pass heuristic solution and the
+/// `y` variables carry branching priority, both of which prune the tree the
+/// way a tuned `lp_solve` session would.
+#[derive(Debug, Clone, Default)]
+pub struct IlpAllocator {
+    /// Wall-clock budget; `None` = run to proven optimality. Table 1's
+    /// "ILP did not converge" rows correspond to hitting this limit.
+    pub time_limit: Option<Duration>,
+    /// Node budget for the branch & bound.
+    pub node_limit: Option<usize>,
+    /// Skip the heuristic warm start (ablation).
+    pub cold_start: bool,
+}
+
+/// Result of an exact solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpOutcome {
+    /// Best solution found, if any.
+    pub solution: Option<ClusterSolution>,
+    /// Whether optimality was proven.
+    pub proven_optimal: bool,
+    /// Residual MIP gap (0 when proven optimal).
+    pub gap: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Wall-clock time.
+    pub runtime: Duration,
+}
+
+impl IlpAllocator {
+    /// Allocator with a time limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        IlpAllocator { time_limit: Some(limit), ..Self::default() }
+    }
+
+    /// Builds the paper's ILP for a pre-processed problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FbbError::Solver`] on malformed models (cannot happen
+    /// for a well-formed [`Preprocessed`]).
+    pub fn build_model(&self, pre: &Preprocessed) -> Result<Model, FbbError> {
+        let n = pre.n_rows;
+        let p = pre.levels;
+        let mut model = Model::new();
+
+        // x[i][j] with leakage objective (Eq. 1).
+        let x: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..p).map(|j| model.add_binary(pre.row_leakage_nw[i][j])).collect())
+            .collect();
+        // y[j] cluster-open indicators, prioritized for branching.
+        let y: Vec<usize> = (0..p).map(|_| model.add_binary(0.0)).collect();
+        for &yj in &y {
+            model.set_branch_priority(yj, 10);
+        }
+
+        // Eq. 3: each row picks exactly one level.
+        for row_vars in &x {
+            let terms = row_vars.iter().map(|&v| (v, 1.0)).collect();
+            model.add_constraint(terms, Sense::Eq, 1.0)?;
+        }
+
+        // Eq. 2: path speed-up requirements.
+        for path in &pre.paths {
+            let mut terms = Vec::new();
+            for (row, reds) in &path.rows {
+                for (j, &a) in reds.iter().enumerate() {
+                    if a != 0.0 {
+                        terms.push((x[*row][j], a));
+                    }
+                }
+            }
+            model.add_constraint(terms, Sense::Ge, path.required_reduction_ps)?;
+        }
+
+        // Eq. 4: linking and the cluster budget.
+        for j in 0..p {
+            let mut terms: Vec<(usize, f64)> = (0..n).map(|i| (x[i][j], 1.0)).collect();
+            terms.push((y[j], -(n as f64)));
+            model.add_constraint(terms, Sense::Le, 0.0)?;
+        }
+        let budget = y.iter().map(|&v| (v, 1.0)).collect();
+        model.add_constraint(budget, Sense::Le, pre.max_clusters as f64)?;
+
+        Ok(model)
+    }
+
+    /// Solves the ILP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FbbError::Solver`] on numerical failure.
+    pub fn solve(&self, pre: &Preprocessed) -> Result<IlpOutcome, FbbError> {
+        let start = Instant::now();
+        let model = self.build_model(pre)?;
+
+        let incumbent = if self.cold_start {
+            None
+        } else {
+            TwoPassHeuristic::default().solve(pre).ok().map(|sol| {
+                let x = encode(pre, &sol.assignment);
+                (sol.leakage_nw, x)
+            })
+        };
+
+        let options = MipOptions {
+            time_limit: self.time_limit,
+            node_limit: self.node_limit,
+            ..MipOptions::default()
+        };
+        let mip = solve_mip(&model, &options, incumbent)?;
+        let runtime = start.elapsed();
+
+        let solution = match mip.status {
+            MipStatus::Optimal | MipStatus::Feasible => {
+                let assignment = decode(pre, &mip.x);
+                Some(ClusterSolution::from_assignment(pre, assignment, "ilp", runtime))
+            }
+            _ => None,
+        };
+        Ok(IlpOutcome {
+            proven_optimal: mip.status == MipStatus::Optimal,
+            gap: mip.gap(),
+            nodes: mip.nodes,
+            runtime,
+            solution,
+        })
+    }
+}
+
+/// Flattens an assignment into the model's variable vector (x then y).
+fn encode(pre: &Preprocessed, assignment: &[usize]) -> Vec<f64> {
+    let n = pre.n_rows;
+    let p = pre.levels;
+    let mut x = vec![0.0; n * p + p];
+    for (i, &j) in assignment.iter().enumerate() {
+        x[i * p + j] = 1.0;
+    }
+    let mut used: Vec<usize> = assignment.to_vec();
+    used.sort_unstable();
+    used.dedup();
+    for j in used {
+        x[n * p + j] = 1.0;
+    }
+    x
+}
+
+/// Reads the row assignment back out of a MIP point.
+fn decode(pre: &Preprocessed, x: &[f64]) -> Vec<usize> {
+    let p = pre.levels;
+    (0..pre.n_rows)
+        .map(|i| {
+            (0..p)
+                .max_by(|&a, &b| {
+                    x[i * p + a].partial_cmp(&x[i * p + b]).expect("binary values are finite")
+                })
+                .expect("at least one level")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{single_bb, FbbProblem};
+    use fbb_device::{BiasLadder, BodyBiasModel, Library};
+    use fbb_netlist::generators;
+    use fbb_placement::{Placer, PlacerOptions};
+
+    fn pre(beta: f64, c: usize) -> Preprocessed {
+        let nl = generators::ripple_adder("a24", 24, false).unwrap();
+        let lib = Library::date09_45nm();
+        let p = Placer::new(PlacerOptions::with_target_rows(6)).place(&nl, &lib).unwrap();
+        let chara = lib.characterize(&BodyBiasModel::date09_45nm(), &BiasLadder::date09().unwrap());
+        FbbProblem::new(&nl, &p, &chara, beta, c).unwrap().preprocess().unwrap()
+    }
+
+    #[test]
+    fn model_dimensions_match_formulation() {
+        let pre = pre(0.05, 3);
+        let model = IlpAllocator::default().build_model(&pre).unwrap();
+        assert_eq!(model.var_count(), pre.n_rows * pre.levels + pre.levels);
+        assert_eq!(
+            model.constraint_count(),
+            pre.n_rows + pre.paths.len() + pre.levels + 1
+        );
+    }
+
+    #[test]
+    fn ilp_meets_timing_and_budget_and_beats_heuristic() {
+        for (beta, c) in [(0.05, 2), (0.05, 3), (0.10, 2)] {
+            let pre = pre(beta, c);
+            let heur = TwoPassHeuristic::default().solve(&pre).unwrap();
+            let out = IlpAllocator::default().solve(&pre).unwrap();
+            let sol = out.solution.expect("feasible");
+            assert!(out.proven_optimal, "beta={beta} C={c}");
+            assert!(sol.meets_timing, "beta={beta} C={c}");
+            assert!(sol.clusters <= c, "beta={beta} C={c}");
+            assert!(
+                sol.leakage_nw <= heur.leakage_nw + 1e-6,
+                "beta={beta} C={c}: ilp {} > heuristic {}",
+                sol.leakage_nw,
+                heur.leakage_nw
+            );
+        }
+    }
+
+    #[test]
+    fn ilp_beats_single_bb() {
+        let pre = pre(0.10, 3);
+        let base = single_bb(&pre).unwrap();
+        let out = IlpAllocator::default().solve(&pre).unwrap();
+        let sol = out.solution.unwrap();
+        assert!(sol.savings_vs(&base) > 0.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let pre = pre(0.05, 3);
+        let assignment: Vec<usize> = (0..pre.n_rows).map(|i| i % pre.levels).collect();
+        let x = encode(&pre, &assignment);
+        assert_eq!(decode(&pre, &x), assignment);
+    }
+
+    #[test]
+    fn cold_start_matches_warm_start_objective() {
+        let pre = pre(0.05, 2);
+        let warm = IlpAllocator::default().solve(&pre).unwrap();
+        let cold = IlpAllocator { cold_start: true, ..Default::default() }.solve(&pre).unwrap();
+        let (w, c) = (warm.solution.unwrap(), cold.solution.unwrap());
+        assert!((w.leakage_nw - c.leakage_nw).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_limit_zero_reports_incumbent_not_optimal() {
+        let pre = pre(0.05, 3);
+        let out = IlpAllocator::with_time_limit(Duration::ZERO).solve(&pre).unwrap();
+        assert!(!out.proven_optimal);
+        // With the heuristic warm start an incumbent exists even at t=0.
+        let sol = out.solution.expect("warm-started incumbent");
+        assert!(sol.meets_timing);
+        assert!(out.gap >= 0.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Problem definition and the pre-processing phase (§4.1).
+
+use fbb_device::Characterization;
+use fbb_netlist::Netlist;
+use fbb_placement::Placement;
+use fbb_sta::TimingGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::FbbError;
+
+/// The physical unit at which one bias voltage is applied.
+///
+/// The paper's contribution is the `Row` granularity; `Block` is the prior
+/// art it measures against, and `Gate` is the fine-grained clustering of
+/// Kulkarni et al. that §2 argues against on area grounds (adjacent gates in
+/// different clusters need well separation and placement perturbation). The
+/// `granularity` experiment binary reproduces that comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One voltage for the whole block (prior art).
+    Block,
+    /// One voltage per standard-cell row (the paper).
+    #[default]
+    Row,
+    /// One voltage per gate (Kulkarni-style fine-grained clustering).
+    Gate,
+}
+
+/// An FBB allocation problem over one placed circuit block.
+#[derive(Debug, Clone)]
+pub struct FbbProblem<'a> {
+    netlist: &'a Netlist,
+    placement: &'a Placement,
+    characterization: &'a Characterization,
+    beta: f64,
+    max_clusters: usize,
+    instance_jitter: f64,
+}
+
+impl<'a> FbbProblem<'a> {
+    /// Bundles a problem instance.
+    ///
+    /// `beta` is the design slowdown coefficient (`0.05` = every path 5 %
+    /// slow); `max_clusters` is the paper's `C` (distinct voltages including
+    /// the no-bias level; the layout style supports at most 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FbbError::InvalidProblem`] for β outside `[0, 1]` or a zero
+    /// cluster budget, and [`FbbError::Placement`] if the placement does not
+    /// cover the netlist.
+    pub fn new(
+        netlist: &'a Netlist,
+        placement: &'a Placement,
+        characterization: &'a Characterization,
+        beta: f64,
+        max_clusters: usize,
+    ) -> Result<Self, FbbError> {
+        if !(0.0..=1.0).contains(&beta) {
+            return Err(FbbError::InvalidProblem(format!(
+                "slowdown coefficient beta = {beta} outside [0, 1]"
+            )));
+        }
+        if max_clusters == 0 {
+            return Err(FbbError::InvalidProblem("cluster budget C must be at least 1".into()));
+        }
+        placement.validate(netlist)?;
+        Ok(FbbProblem {
+            netlist,
+            placement,
+            characterization,
+            beta,
+            max_clusters,
+            instance_jitter: 0.05,
+        })
+    }
+
+    /// Sets the per-instance delay jitter amplitude (default 5 %).
+    ///
+    /// Library characterization gives every instance of a cell the same
+    /// delay, which collapses the worst-path multiplicity real designs have
+    /// (interconnect and fanout loading make every instance slightly
+    /// different). A deterministic ±`amplitude` perturbation per gate id
+    /// restores that diversity; `0.0` disables it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is not within `[0, 0.5]`.
+    pub fn with_instance_jitter(mut self, amplitude: f64) -> Self {
+        assert!((0.0..=0.5).contains(&amplitude), "jitter amplitude outside [0, 0.5]");
+        self.instance_jitter = amplitude;
+        self
+    }
+
+    /// The slowdown coefficient β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The cluster budget C.
+    pub fn max_clusters(&self) -> usize {
+        self.max_clusters
+    }
+
+    /// Runs the paper's pre-processing: nominal STA, critical-path-set
+    /// extraction and pruning, per-row leakage tables, and delay-reduction
+    /// coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FbbError::Netlist`] if the netlist has combinational
+    /// cycles.
+    pub fn preprocess(&self) -> Result<Preprocessed, FbbError> {
+        self.preprocess_at(Granularity::Row)
+    }
+
+    /// Pre-processes at an explicit clustering granularity: the "rows" of
+    /// the returned problem become blocks, standard-cell rows, or single
+    /// gates. All allocators work unchanged on any granularity.
+    ///
+    /// # Errors
+    ///
+    /// See [`FbbProblem::preprocess`].
+    pub fn preprocess_at(&self, granularity: Granularity) -> Result<Preprocessed, FbbError> {
+        let chara = self.characterization;
+        let levels = chara.level_count();
+        let group_of: Vec<usize> = match granularity {
+            Granularity::Block => vec![0; self.netlist.gate_count()],
+            Granularity::Row => (0..self.netlist.gate_count())
+                .map(|i| self.placement.row_of(fbb_netlist::GateId::from_index(i)).index())
+                .collect(),
+            Granularity::Gate => (0..self.netlist.gate_count()).collect(),
+        };
+        let n_rows = match granularity {
+            Granularity::Block => 1,
+            Granularity::Row => self.placement.row_count(),
+            Granularity::Gate => self.netlist.gate_count(),
+        };
+
+        // Nominal (NBB) per-gate delays, with a deterministic per-instance
+        // loading perturbation (see [`FbbProblem::with_instance_jitter`]).
+        let nominal: Vec<f64> = self
+            .netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                // Weyl-sequence hash in [-1, 1).
+                let h = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                chara.delay_ps(g.cell, 0) * (1.0 + self.instance_jitter * (2.0 * h - 1.0))
+            })
+            .collect();
+
+        let graph = TimingGraph::new(self.netlist)?;
+        let analysis = graph.analyze(&nominal);
+        let dcrit = analysis.dcrit_ps();
+
+        // Per-group leakage at every level: L[i][j].
+        let mut row_leakage = vec![vec![0.0f64; levels]; n_rows];
+        for (id, gate) in self.netlist.iter_gates() {
+            let row = group_of[id.index()];
+            for j in 0..levels {
+                row_leakage[row][j] += chara.leakage_nw(gate.cell, j);
+            }
+        }
+
+        // The pruned path set Π, filtered to the constrained subset
+        // (degraded delay above Dcrit): the paper's `No.Constr`.
+        let speedups: Vec<f64> = (0..levels).map(|j| chara.speedup_fraction(j)).collect();
+        let mut paths = Vec::new();
+        let mut row_criticality = vec![0.0f64; n_rows];
+        let slack_floor = (dcrit * 1e-3).max(1e-6);
+        for path in analysis.critical_path_set() {
+            let degraded = path.delay_ps * (1.0 + self.beta);
+            if degraded <= dcrit + 1e-9 {
+                continue;
+            }
+            // Group the path's gates by row; reduction of row i at level j is
+            // sum over its gates of degraded_gate_delay * speedup_j.
+            let mut per_row: Vec<(usize, f64, usize)> = Vec::new(); // (row, delay sum, gate count)
+            for &g in &path.gates {
+                let row = group_of[g.index()];
+                let d = nominal[g.index()] * (1.0 + self.beta);
+                match per_row.iter_mut().find(|(r, _, _)| *r == row) {
+                    Some((_, sum, q)) => {
+                        *sum += d;
+                        *q += 1;
+                    }
+                    None => per_row.push((row, d, 1)),
+                }
+            }
+            let slack = (dcrit - path.delay_ps).max(slack_floor);
+            for &(row, _, q) in &per_row {
+                // Paper's criticality: ct_i = sum_k Q_{i,k} / slack_k.
+                row_criticality[row] += q as f64 / slack;
+            }
+            let rows = per_row
+                .into_iter()
+                .map(|(row, delay_sum, _)| {
+                    let reductions = speedups.iter().map(|&s| delay_sum * s).collect();
+                    (row, reductions)
+                })
+                .collect();
+            paths.push(PathConstraint {
+                degraded_delay_ps: degraded,
+                required_reduction_ps: degraded - dcrit,
+                nominal_delay_ps: path.delay_ps,
+                rows,
+            });
+        }
+
+        Ok(Preprocessed {
+            n_rows,
+            levels,
+            beta: self.beta,
+            max_clusters: self.max_clusters,
+            dcrit_ps: dcrit,
+            row_leakage_nw: row_leakage,
+            row_criticality,
+            paths,
+        })
+    }
+}
+
+/// One timing constraint: a path of Π whose degraded delay violates `Dcrit`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathConstraint {
+    /// Path delay after the β slowdown (`pd · (1 + β)`).
+    pub degraded_delay_ps: f64,
+    /// Reduction needed to restore `Dcrit` (the magnitude of the paper's
+    /// `b_k`).
+    pub required_reduction_ps: f64,
+    /// Nominal (pre-slowdown) path delay.
+    pub nominal_delay_ps: f64,
+    /// Per-row delay-reduction table: `(row, reductions[level])` where
+    /// `reductions[j]` is the paper's `a[i][j][k]` — the total delay this
+    /// path recovers when row `i` sits at bias level `j`.
+    pub rows: Vec<(usize, Vec<f64>)>,
+}
+
+impl PathConstraint {
+    /// Total reduction this path receives under a row→level assignment.
+    pub fn reduction(&self, assignment: &[usize]) -> f64 {
+        self.rows.iter().map(|(row, reds)| reds[assignment[*row]]).sum()
+    }
+
+    /// Whether the path meets timing under the assignment.
+    pub fn satisfied(&self, assignment: &[usize]) -> bool {
+        self.reduction(assignment) + 1e-9 >= self.required_reduction_ps
+    }
+}
+
+/// The pre-processed allocation problem the algorithms operate on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preprocessed {
+    /// Number of rows `N`.
+    pub n_rows: usize,
+    /// Number of bias levels `P` (index 0 = no body bias).
+    pub levels: usize,
+    /// The slowdown coefficient β.
+    pub beta: f64,
+    /// Cluster budget `C` (distinct levels including NBB).
+    pub max_clusters: usize,
+    /// Nominal critical delay.
+    pub dcrit_ps: f64,
+    /// Per-row leakage `L[i][j]` in nanowatts.
+    pub row_leakage_nw: Vec<Vec<f64>>,
+    /// Row timing-criticality coefficients `ct_i` for the heuristic ranking.
+    pub row_criticality: Vec<f64>,
+    /// Constrained path set (the paper's `M` = `paths.len()`).
+    pub paths: Vec<PathConstraint>,
+}
+
+impl Preprocessed {
+    /// Total leakage (nW) of an assignment.
+    pub fn leakage_nw(&self, assignment: &[usize]) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(row, &level)| self.row_leakage_nw[row][level])
+            .sum()
+    }
+
+    /// Number of distinct bias levels used (incl. NBB) — the cluster count.
+    pub fn cluster_count(assignment: &[usize]) -> usize {
+        let mut levels: Vec<usize> = assignment.to_vec();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len()
+    }
+
+    /// Number of timing constraints `M` (the paper's `No.Constr` column).
+    pub fn constraint_count(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbb_device::{BiasLadder, BodyBiasModel, Library};
+    use fbb_netlist::generators;
+    use fbb_placement::{Placer, PlacerOptions};
+
+    fn setup(beta: f64) -> (Netlist, Placement, Characterization) {
+        let nl = generators::ripple_adder("a24", 24, false).unwrap();
+        let lib = Library::date09_45nm();
+        let placement =
+            Placer::new(PlacerOptions::with_target_rows(6)).place(&nl, &lib).unwrap();
+        let chara = lib.characterize(&BodyBiasModel::date09_45nm(), &BiasLadder::date09().unwrap());
+        let _ = beta;
+        (nl, placement, chara)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (nl, p, c) = setup(0.05);
+        assert!(FbbProblem::new(&nl, &p, &c, -0.1, 3).is_err());
+        assert!(FbbProblem::new(&nl, &p, &c, 1.5, 3).is_err());
+        assert!(FbbProblem::new(&nl, &p, &c, 0.05, 0).is_err());
+        assert!(FbbProblem::new(&nl, &p, &c, 0.05, 3).is_ok());
+    }
+
+    #[test]
+    fn preprocess_dimensions() {
+        let (nl, p, c) = setup(0.05);
+        let pre = FbbProblem::new(&nl, &p, &c, 0.05, 3).unwrap().preprocess().unwrap();
+        assert_eq!(pre.n_rows, 6);
+        assert_eq!(pre.levels, 11);
+        assert!(pre.dcrit_ps > 0.0);
+        assert!(!pre.paths.is_empty());
+        assert_eq!(pre.row_leakage_nw.len(), 6);
+        assert!(pre.row_leakage_nw.iter().all(|r| r.len() == 11));
+    }
+
+    #[test]
+    fn leakage_grows_with_level() {
+        let (nl, p, c) = setup(0.05);
+        let pre = FbbProblem::new(&nl, &p, &c, 0.05, 3).unwrap().preprocess().unwrap();
+        for row in &pre.row_leakage_nw {
+            for j in 1..row.len() {
+                assert!(row[j] > row[j - 1]);
+            }
+        }
+        let all_nbb = vec![0usize; pre.n_rows];
+        let all_max = vec![pre.levels - 1; pre.n_rows];
+        assert!(pre.leakage_nw(&all_max) > 3.0 * pre.leakage_nw(&all_nbb));
+    }
+
+    #[test]
+    fn constraint_count_grows_with_beta() {
+        let (nl, p, c) = setup(0.0);
+        let pre5 = FbbProblem::new(&nl, &p, &c, 0.05, 3).unwrap().preprocess().unwrap();
+        let pre10 = FbbProblem::new(&nl, &p, &c, 0.10, 3).unwrap().preprocess().unwrap();
+        assert!(pre10.constraint_count() >= pre5.constraint_count());
+        assert!(pre5.constraint_count() >= 1);
+    }
+
+    #[test]
+    fn reductions_are_monotone_in_level() {
+        let (nl, p, c) = setup(0.05);
+        let pre = FbbProblem::new(&nl, &p, &c, 0.05, 3).unwrap().preprocess().unwrap();
+        for path in &pre.paths {
+            for (_, reds) in &path.rows {
+                assert_eq!(reds[0], 0.0, "NBB reduces nothing");
+                for j in 1..reds.len() {
+                    assert!(reds[j] >= reds[j - 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_bias_satisfies_all_constraints() {
+        // At full bias, every gate speeds up by the ladder maximum, which by
+        // construction covers beta <= ~9.9% ... use beta = 5%.
+        let (nl, p, c) = setup(0.05);
+        let pre = FbbProblem::new(&nl, &p, &c, 0.05, 3).unwrap().preprocess().unwrap();
+        let all_max = vec![pre.levels - 1; pre.n_rows];
+        for path in &pre.paths {
+            assert!(path.satisfied(&all_max));
+        }
+        let all_nbb = vec![0usize; pre.n_rows];
+        assert!(pre.paths.iter().any(|p| !p.satisfied(&all_nbb)));
+    }
+
+    #[test]
+    fn cluster_count_counts_distinct_levels() {
+        assert_eq!(Preprocessed::cluster_count(&[0, 0, 0]), 1);
+        assert_eq!(Preprocessed::cluster_count(&[0, 5, 5, 0]), 2);
+        assert_eq!(Preprocessed::cluster_count(&[1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn criticality_nonzero_only_for_rows_on_paths() {
+        let (nl, p, c) = setup(0.05);
+        let pre = FbbProblem::new(&nl, &p, &c, 0.05, 3).unwrap().preprocess().unwrap();
+        let on_paths: std::collections::HashSet<usize> =
+            pre.paths.iter().flat_map(|p| p.rows.iter().map(|(r, _)| *r)).collect();
+        for (row, &ct) in pre.row_criticality.iter().enumerate() {
+            assert_eq!(ct > 0.0, on_paths.contains(&row), "row {row}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for device-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building device models or libraries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The bias ladder specification is inconsistent.
+    InvalidLadder(String),
+    /// The body-bias model parameters are physically meaningless.
+    InvalidModel(String),
+    /// A cell or drive-strength name could not be resolved.
+    UnknownCell(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidLadder(msg) => write!(f, "invalid bias ladder: {msg}"),
+            DeviceError::InvalidModel(msg) => write!(f, "invalid body-bias model: {msg}"),
+            DeviceError::UnknownCell(name) => write!(f, "unknown library cell {name}"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = DeviceError::UnknownCell("NAND9".into());
+        assert_eq!(e.to_string(), "unknown library cell NAND9");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

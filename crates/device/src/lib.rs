@@ -1,0 +1,53 @@
+//! Body-bias device physics and standard-cell library characterization.
+//!
+//! This crate models the silicon-level substrate of the DATE 2009 paper
+//! *"Physically Clustered Forward Body Biasing for Variability Compensation
+//! in Nanometer CMOS design"*: how gate delay and leakage power respond to a
+//! forward body-bias (FBB) voltage `vbs` in a 45 nm CMOS process.
+//!
+//! The paper characterized a real STMicroelectronics 45 nm library with
+//! SPICE. We reproduce the *measured shape* of that characterization
+//! (paper Fig. 1) analytically:
+//!
+//! * delay decreases **linearly** with `vbs` — 21 % speed-up at
+//!   `vbs = 0.95 V`;
+//! * subthreshold leakage grows **exponentially** with `vbs` — 12.74× at
+//!   `vbs = 0.95 V`;
+//! * beyond ~0.5 V the forward source–body junction begins to conduct,
+//!   which is why the paper restricts the usable range to 0–0.5 V.
+//!
+//! # Example
+//!
+//! ```
+//! use fbb_device::{BiasLadder, BodyBiasModel, Cell, CellKind, DriveStrength, Library};
+//!
+//! # fn main() -> Result<(), fbb_device::DeviceError> {
+//! let model = BodyBiasModel::date09_45nm();
+//! let ladder = BiasLadder::date09()?; // 11 levels: 0 mV .. 500 mV in 50 mV steps
+//! let library = Library::date09_45nm();
+//! let chara = library.characterize(&model, &ladder);
+//!
+//! let inv = Cell::new(CellKind::Inv, DriveStrength::X1);
+//! // Full forward bias makes the inverter ~11% faster ...
+//! assert!(chara.delay_ps(inv, ladder.len() - 1) < 0.9 * chara.delay_ps(inv, 0));
+//! // ... but close to 4x leakier.
+//! assert!(chara.leakage_nw(inv, ladder.len() - 1) > 3.5 * chara.leakage_nw(inv, 0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bias;
+mod cells;
+mod error;
+mod library;
+mod model;
+pub mod rbb;
+
+pub use bias::{BiasLadder, BiasVoltage};
+pub use cells::{Cell, CellKind, DriveStrength};
+pub use error::DeviceError;
+pub use library::{Characterization, Library};
+pub use model::BodyBiasModel;

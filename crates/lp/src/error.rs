@@ -1,0 +1,58 @@
+//! Solver error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// A constraint or objective references a variable that does not exist.
+    UnknownVariable(usize),
+    /// A coefficient, bound, or right-hand side is NaN/infinite where a
+    /// finite value is required.
+    NonFiniteData(String),
+    /// A variable's lower bound exceeds its upper bound.
+    InvertedBounds {
+        /// Variable index.
+        var: usize,
+        /// Lower bound.
+        lower: f64,
+        /// Upper bound.
+        upper: f64,
+    },
+    /// The simplex iteration limit was exhausted (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable(v) => write!(f, "unknown variable index {v}"),
+            LpError::NonFiniteData(what) => write!(f, "non-finite {what}"),
+            LpError::InvertedBounds { var, lower, upper } => {
+                write!(f, "variable {var} has lower bound {lower} above upper bound {upper}")
+            }
+            LpError::IterationLimit => write!(f, "simplex iteration limit exhausted"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(LpError::UnknownVariable(3).to_string().contains('3'));
+        assert!(LpError::IterationLimit.to_string().contains("iteration"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! A from-scratch linear-programming and mixed-integer solver.
+//!
+//! The paper solves its optimal FBB allocation with `lp_solve`. No
+//! offline-usable ILP crate exists in this workspace's dependency budget
+//! (the repro notes call the Rust ILP/EDA ecosystem "thin"), so this crate
+//! implements the required solver stack:
+//!
+//! * [`Model`] — variables with bounds/integrality, linear constraints
+//!   (`<=`, `=`, `>=`), and a linear objective (minimization);
+//! * [`solve_lp`] — a dense **two-phase bounded-variable primal simplex**
+//!   (upper/lower bounds handled natively, no explicit bound rows; Dantzig
+//!   pricing with a Bland anti-cycling fallback);
+//! * [`solve_mip`] — **best-first branch & bound** with branching
+//!   priorities, incumbent seeding, a rounding probe, and node/time limits
+//!   (time-limited solves report the residual MIP gap, which is how the
+//!   harness reproduces the paper's "ILP did not converge" entries).
+//!
+//! # Example
+//!
+//! ```
+//! use fbb_lp::{Model, Sense, solve_mip, MipOptions};
+//!
+//! # fn main() -> Result<(), fbb_lp::LpError> {
+//! // maximize-style knapsack, stated as minimization of the negated value:
+//! // min -3a - 4b - 2c  s.t.  2a + 3b + c <= 4, binaries.
+//! let mut m = Model::new();
+//! let a = m.add_binary(-3.0);
+//! let b = m.add_binary(-4.0);
+//! let c = m.add_binary(-2.0);
+//! m.add_constraint(vec![(a, 2.0), (b, 3.0), (c, 1.0)], Sense::Le, 4.0)?;
+//! let sol = solve_mip(&m, &MipOptions::default(), None)?;
+//! assert_eq!(sol.objective.round(), -6.0); // b and c, or a and c
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bnb;
+mod error;
+mod model;
+mod simplex;
+
+pub use bnb::{solve_mip, MipOptions, MipSolution, MipStatus};
+pub use error::LpError;
+pub use model::{Model, Sense, VarKind};
+pub use simplex::{solve_lp, solve_lp_with_bounds, LpSolution, LpStatus};

@@ -1,0 +1,128 @@
+//! Property tests: the solver against brute-force ground truth.
+
+use fbb_lp::{solve_lp, solve_mip, LpStatus, MipOptions, MipStatus, Model, Sense};
+use proptest::prelude::*;
+
+/// A random small binary program.
+#[derive(Debug, Clone)]
+struct BinaryProgram {
+    n: usize,
+    objective: Vec<i32>,
+    rows: Vec<(Vec<i32>, Sense, i32)>,
+}
+
+fn binary_program() -> impl Strategy<Value = BinaryProgram> {
+    (2usize..=9).prop_flat_map(|n| {
+        let obj = proptest::collection::vec(-5i32..=5, n);
+        let row = (
+            proptest::collection::vec(-4i32..=4, n),
+            prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)],
+            -6i32..=8,
+        );
+        let rows = proptest::collection::vec(row, 1..=5);
+        (obj, rows).prop_map(move |(objective, rows)| BinaryProgram { n, objective, rows })
+    })
+}
+
+fn build_model(p: &BinaryProgram) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<usize> = p.objective.iter().map(|&c| m.add_binary(f64::from(c))).collect();
+    for (coeffs, sense, rhs) in &p.rows {
+        let terms: Vec<(usize, f64)> =
+            vars.iter().zip(coeffs).map(|(&v, &c)| (v, f64::from(c))).collect();
+        m.add_constraint(terms, *sense, f64::from(*rhs)).expect("valid terms");
+    }
+    m
+}
+
+/// Exhaustive optimum over all 2^n assignments.
+fn brute_force(p: &BinaryProgram) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << p.n) {
+        let x: Vec<f64> = (0..p.n).map(|j| f64::from((mask >> j) & 1)).collect();
+        let feasible = p.rows.iter().all(|(coeffs, sense, rhs)| {
+            let lhs: f64 = coeffs.iter().zip(&x).map(|(&c, &xj)| f64::from(c) * xj).sum();
+            match sense {
+                Sense::Le => lhs <= f64::from(*rhs) + 1e-9,
+                Sense::Ge => lhs >= f64::from(*rhs) - 1e-9,
+                Sense::Eq => (lhs - f64::from(*rhs)).abs() <= 1e-9,
+            }
+        });
+        if feasible {
+            let obj: f64 = p.objective.iter().zip(&x).map(|(&c, &xj)| f64::from(c) * xj).sum();
+            best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn mip_matches_brute_force(p in binary_program()) {
+        let model = build_model(&p);
+        let truth = brute_force(&p);
+        let sol = solve_mip(&model, &MipOptions::default(), None).expect("solver runs");
+        match truth {
+            None => prop_assert_eq!(sol.status, MipStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(sol.status, MipStatus::Optimal);
+                prop_assert!((sol.objective - best).abs() < 1e-5,
+                    "solver {} vs brute force {}", sol.objective, best);
+                prop_assert!(model.is_feasible(&sol.x, 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_the_mip(p in binary_program()) {
+        let model = build_model(&p);
+        if let Some(best) = brute_force(&p) {
+            let relax = solve_lp(&model).expect("solver runs");
+            prop_assert_eq!(relax.status, LpStatus::Optimal);
+            prop_assert!(relax.objective <= best + 1e-5,
+                "relaxation {} above integer optimum {}", relax.objective, best);
+        }
+    }
+
+    #[test]
+    fn lp_beats_random_feasible_points(
+        p in binary_program(),
+        samples in proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, 9), 20)
+    ) {
+        let model = build_model(&p);
+        let relax = solve_lp(&model).expect("solver runs");
+        if relax.status != LpStatus::Optimal {
+            return Ok(());
+        }
+        for s in samples {
+            let x: Vec<f64> = s.into_iter().take(p.n).collect();
+            if x.len() == p.n && model.is_feasible(&x, 1e-9) {
+                prop_assert!(model.objective_value(&x) >= relax.objective - 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn incumbent_never_degrades_result(p in binary_program()) {
+        let model = build_model(&p);
+        if let Some(best) = brute_force(&p) {
+            // Seed with the brute-force optimum itself.
+            let mut seed_x = None;
+            for mask in 0u32..(1 << p.n) {
+                let x: Vec<f64> = (0..p.n).map(|j| f64::from((mask >> j) & 1)).collect();
+                if model.is_feasible(&x, 1e-9)
+                    && (model.objective_value(&x) - best).abs() < 1e-9
+                {
+                    seed_x = Some(x);
+                    break;
+                }
+            }
+            let sol = solve_mip(&model, &MipOptions::default(), seed_x.map(|x| (best, x)))
+                .expect("solver runs");
+            prop_assert_eq!(sol.status, MipStatus::Optimal);
+            prop_assert!((sol.objective - best).abs() < 1e-5);
+        }
+    }
+}

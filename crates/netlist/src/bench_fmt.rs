@@ -1,0 +1,335 @@
+//! ISCAS-85/89 `.bench` format support.
+//!
+//! The paper's public benchmarks (c1355, c3540, c5315, c6288, c7552) are
+//! distributed in the `.bench` netlist format:
+//!
+//! ```text
+//! # c17
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = NAND(10, 16)
+//! ```
+//!
+//! This module parses and writes that format so the allocator runs on the
+//! *real* ISCAS netlists when a user has them (this repository ships
+//! generated stand-ins instead; see `suite`). Wide gates are decomposed
+//! into trees of the library's 2–4 input cells, `NOT`/`BUFF` map to
+//! INV/BUF, and `DFF` to the library flop.
+
+use fbb_device::{CellKind, DriveStrength};
+use std::collections::HashMap;
+
+use crate::{Gate, GateId, Net, NetId, Netlist, NetlistError};
+
+/// Parses a `.bench` netlist.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines, unknown functions,
+/// or arity violations, and structural validation errors for inconsistent
+/// connectivity.
+pub fn from_bench_str(text: &str) -> Result<Netlist, NetlistError> {
+    let mut nets: Vec<Net> = Vec::new();
+    let mut ids: HashMap<String, NetId> = HashMap::new();
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    // (producing function, output net, input names, line)
+    let mut defs: Vec<(String, NetId, Vec<String>, usize)> = Vec::new();
+    let mut name = String::from("bench");
+
+    let err = |line: usize, message: String| NetlistError::Parse { line, message };
+
+    let intern = |nets: &mut Vec<Net>, ids: &mut HashMap<String, NetId>, n: &str| -> NetId {
+        if let Some(&id) = ids.get(n) {
+            return id;
+        }
+        let id = NetId::from_index(nets.len());
+        nets.push(Net { name: n.to_owned(), driver: None, sinks: Vec::new() });
+        ids.insert(n.to_owned(), id);
+        id
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            if let Some(comment) = raw.trim().strip_prefix('#') {
+                let trimmed = comment.trim();
+                if lineno == 0 && !trimmed.is_empty() {
+                    name = trimmed.split_whitespace().next().unwrap_or("bench").to_owned();
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = content.strip_prefix("INPUT(") {
+            let n = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(line, "unterminated INPUT(...)".into()))?
+                .trim();
+            let id = intern(&mut nets, &mut ids, n);
+            inputs.push(id);
+        } else if let Some(rest) = content.strip_prefix("OUTPUT(") {
+            let n = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(line, "unterminated OUTPUT(...)".into()))?
+                .trim();
+            let id = intern(&mut nets, &mut ids, n);
+            outputs.push(id);
+        } else if let Some((lhs, rhs)) = content.split_once('=') {
+            let out = intern(&mut nets, &mut ids, lhs.trim());
+            let rhs = rhs.trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(line, format!("expected FUNC(...) after =, got {rhs}")))?;
+            let func = rhs[..open].trim().to_ascii_uppercase();
+            let args = rhs[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| err(line, "unterminated argument list".into()))?;
+            let pins: Vec<String> = args
+                .split(',')
+                .map(|p| p.trim().to_owned())
+                .filter(|p| !p.is_empty())
+                .collect();
+            if pins.is_empty() {
+                return Err(err(line, format!("{func} has no inputs")));
+            }
+            defs.push((func, out, pins, line));
+        } else {
+            return Err(err(line, format!("unrecognized line: {content}")));
+        }
+    }
+
+    // Second pass: build gates, decomposing wide functions into trees.
+    for (func, out, pins, line) in defs {
+        let pin_ids: Vec<NetId> = pins
+            .iter()
+            .map(|p| intern(&mut nets, &mut ids, p))
+            .collect();
+        build_function(&mut gates, &mut nets, &func, out, &pin_ids, line)?;
+    }
+
+    let nl = Netlist { name, gates, nets, inputs, outputs };
+    nl.validate()?;
+    Ok(nl)
+}
+
+/// Emits one `.bench` function, decomposing arity > 4 (or > 2/3 depending on
+/// the kind) into a balanced tree with a final gate driving `out`.
+fn build_function(
+    gates: &mut Vec<Gate>,
+    nets: &mut Vec<Net>,
+    func: &str,
+    out: NetId,
+    pins: &[NetId],
+    line: usize,
+) -> Result<(), NetlistError> {
+    let err = |message: String| NetlistError::Parse { line, message };
+    let add_gate = |gates: &mut Vec<Gate>,
+                        nets: &mut Vec<Net>,
+                        kind: CellKind,
+                        inputs: &[NetId],
+                        output: Option<NetId>|
+     -> NetId {
+        let gate_id = GateId::from_index(gates.len());
+        let out_net = output.unwrap_or_else(|| {
+            let id = NetId::from_index(nets.len());
+            nets.push(Net { name: format!("bx{}", id.index()), driver: None, sinks: Vec::new() });
+            id
+        });
+        nets[out_net.index()].driver = Some(gate_id);
+        gates.push(Gate {
+            cell: fbb_device::Cell::new(kind, DriveStrength::X1),
+            inputs: inputs.to_vec(),
+            output: out_net,
+        });
+        for &i in inputs {
+            nets[i.index()].sinks.push(gate_id);
+        }
+        out_net
+    };
+
+    // Tree-reduce `pins` with a 2-input kind, final stage driving `out`
+    // (optionally inverted with `invert_last`).
+    let reduce = |gates: &mut Vec<Gate>,
+                  nets: &mut Vec<Net>,
+                  kind2: CellKind,
+                  last_kind: CellKind,
+                  pins: &[NetId]| {
+        debug_assert!(pins.len() >= 2);
+        let mut layer: Vec<NetId> = pins.to_vec();
+        while layer.len() > 2 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(add_gate(gates, nets, kind2, pair, None));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        add_gate(gates, nets, last_kind, &layer, Some(out));
+    };
+
+    match (func, pins.len()) {
+        ("NOT", 1) => {
+            add_gate(gates, nets, CellKind::Inv, pins, Some(out));
+        }
+        ("BUFF" | "BUF", 1) => {
+            add_gate(gates, nets, CellKind::Buf, pins, Some(out));
+        }
+        ("DFF", 1) => {
+            add_gate(gates, nets, CellKind::Dff, pins, Some(out));
+        }
+        ("AND", n) if n >= 2 => reduce(gates, nets, CellKind::And2, CellKind::And2, pins),
+        ("OR", n) if n >= 2 => reduce(gates, nets, CellKind::Or2, CellKind::Or2, pins),
+        ("XOR", n) if n >= 2 => reduce(gates, nets, CellKind::Xor2, CellKind::Xor2, pins),
+        ("XNOR", n) if n >= 2 => reduce(gates, nets, CellKind::Xor2, CellKind::Xnor2, pins),
+        ("NAND", 2) => {
+            add_gate(gates, nets, CellKind::Nand2, pins, Some(out));
+        }
+        ("NAND", 3) => {
+            add_gate(gates, nets, CellKind::Nand3, pins, Some(out));
+        }
+        ("NAND", 4) => {
+            add_gate(gates, nets, CellKind::Nand4, pins, Some(out));
+        }
+        ("NAND", n) if n > 4 => reduce(gates, nets, CellKind::And2, CellKind::Nand2, pins),
+        ("NOR", 2) => {
+            add_gate(gates, nets, CellKind::Nor2, pins, Some(out));
+        }
+        ("NOR", 3) => {
+            add_gate(gates, nets, CellKind::Nor3, pins, Some(out));
+        }
+        ("NOR", n) if n > 3 => reduce(gates, nets, CellKind::Or2, CellKind::Nor2, pins),
+        (f, n) => return Err(err(format!("unsupported function {f} with {n} inputs"))),
+    }
+    Ok(())
+}
+
+/// Writes a netlist in `.bench` format. Library kinds map back to `.bench`
+/// functions (NAND3/NAND4 stay wide NANDs; XNOR2 becomes `XNOR`).
+pub fn to_bench_string(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    for &i in netlist.inputs() {
+        out.push_str(&format!("INPUT({})\n", netlist.net(i).name));
+    }
+    for &o in netlist.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", netlist.net(o).name));
+    }
+    for (_, gate) in netlist.iter_gates() {
+        let func = match gate.cell.kind {
+            CellKind::Inv => "NOT",
+            CellKind::Buf => "BUFF",
+            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => "NAND",
+            CellKind::Nor2 | CellKind::Nor3 => "NOR",
+            CellKind::And2 => "AND",
+            CellKind::Or2 => "OR",
+            CellKind::Xor2 => "XOR",
+            CellKind::Xnor2 => "XNOR",
+            CellKind::Dff => "DFF",
+        };
+        let pins: Vec<&str> =
+            gate.inputs.iter().map(|&n| netlist.net(n).name.as_str()).collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            netlist.net(gate.output).name,
+            func,
+            pins.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use std::collections::HashMap as Map;
+
+    const C17: &str = "# c17\n\
+        INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\n\
+        OUTPUT(22)\nOUTPUT(23)\n\
+        10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n\
+        19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    #[test]
+    fn parses_the_classic_c17() {
+        let nl = from_bench_str(C17).expect("c17 parses");
+        assert_eq!(nl.name(), "c17");
+        assert_eq!(nl.gate_count(), 6);
+        assert_eq!(nl.inputs().len(), 5);
+        assert_eq!(nl.outputs().len(), 2);
+        nl.validate().expect("sound");
+    }
+
+    #[test]
+    fn c17_simulates_correctly() {
+        let nl = from_bench_str(C17).expect("parses");
+        let sim = Simulator::new(&nl).expect("acyclic");
+        let lookup: Map<&str, NetId> =
+            nl.inputs().iter().map(|&n| (nl.net(n).name.as_str(), n)).collect();
+        // All-zero inputs: every NAND of zeros is 1 -> 22 = NAND(1,1) = 0.
+        let ins: Map<NetId, bool> = lookup.values().map(|&n| (n, false)).collect();
+        let out = sim.eval(&ins).expect("driven");
+        let net22 = nl.outputs().iter().copied().find(|&n| nl.net(n).name == "22").expect("exists");
+        assert!(!out[&net22]);
+    }
+
+    #[test]
+    fn wide_gates_are_decomposed() {
+        let text = "# wide\nINPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n\
+            OUTPUT(y)\ny = NAND(a, b, c, d, e)\n";
+        let nl = from_bench_str(text).expect("parses");
+        assert!(nl.gate_count() > 1, "5-input NAND needs a tree");
+        // Function check: y = !(a&b&c&d&e).
+        let sim = Simulator::new(&nl).expect("acyclic");
+        let all_true: Map<NetId, bool> = nl.inputs().iter().map(|&n| (n, true)).collect();
+        let out = sim.eval(&all_true).expect("driven");
+        let y = nl.outputs()[0];
+        assert!(!out[&y]);
+        let mut one_false = all_true.clone();
+        one_false.insert(nl.inputs()[2], false);
+        let out = sim.eval(&one_false).expect("driven");
+        assert!(out[&y]);
+    }
+
+    #[test]
+    fn dff_and_not_map_to_library_cells() {
+        let text = "# seq\nINPUT(d)\nOUTPUT(q)\nOUTPUT(nq)\nq = DFF(d)\nnq = NOT(q)\n";
+        let nl = from_bench_str(text).expect("parses");
+        assert_eq!(nl.dff_count(), 1);
+        nl.validate().expect("sound");
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let nl = from_bench_str(C17).expect("parses");
+        let text = to_bench_string(&nl);
+        let back = from_bench_str(&text).expect("round trip parses");
+        assert_eq!(back.gate_count(), nl.gate_count());
+        assert_eq!(back.inputs().len(), nl.inputs().len());
+        assert_eq!(back.outputs().len(), nl.outputs().len());
+    }
+
+    #[test]
+    fn generated_designs_export_to_bench() {
+        let nl = crate::generators::ripple_adder("a4", 4, true).expect("valid generator");
+        let text = to_bench_string(&nl);
+        let back = from_bench_str(&text).expect("parses");
+        assert_eq!(back.gate_count(), nl.gate_count());
+        assert_eq!(back.dff_count(), nl.dff_count());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_bench_str("y <= NAND(a)\n").is_err());
+        assert!(from_bench_str("INPUT(a\n").is_err());
+        assert!(from_bench_str("INPUT(a)\ny = FROB(a)\n").is_err());
+        assert!(from_bench_str("INPUT(a)\ny = NAND()\n").is_err());
+    }
+}

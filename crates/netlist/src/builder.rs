@@ -1,0 +1,251 @@
+//! Incremental netlist construction.
+
+use fbb_device::{Cell, CellKind, DriveStrength};
+
+use crate::{Gate, GateId, Net, NetId, Netlist, NetlistError};
+
+/// Incrementally builds a [`Netlist`], maintaining structural invariants.
+///
+/// Output nets are created implicitly: [`NetlistBuilder::gate`] returns the
+/// `NetId` its new gate drives, which can immediately feed further gates —
+/// a natural style for writing circuit generators.
+///
+/// ```
+/// use fbb_device::{CellKind, DriveStrength};
+/// use fbb_netlist::NetlistBuilder;
+///
+/// # fn main() -> Result<(), fbb_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("and3");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let z = b.input("z");
+/// let xy = b.gate(CellKind::And2, DriveStrength::X1, &[x, y])?;
+/// let xyz = b.gate(CellKind::And2, DriveStrength::X1, &[xy, z])?;
+/// b.output(xyz, "out");
+/// let nl = b.finish()?;
+/// assert_eq!(nl.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    gates: Vec<Gate>,
+    nets: Vec<Net>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    /// DFFs created with a floating D input, not yet connected.
+    floating_dffs: Vec<GateId>,
+}
+
+impl NetlistBuilder {
+    /// Starts a new netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            gates: Vec::new(),
+            nets: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            floating_dffs: Vec::new(),
+        }
+    }
+
+    fn new_net(&mut self, name: String, driver: Option<GateId>) -> NetId {
+        let id = NetId::from_index(self.nets.len());
+        self.nets.push(Net { name, driver, sinks: Vec::new() });
+        id
+    }
+
+    /// Declares a primary input and returns its net.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.new_net(name.into(), None);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Marks `net` as a primary output and renames it to the port name.
+    pub fn output(&mut self, net: NetId, name: impl Into<String>) {
+        self.nets[net.index()].name = name.into();
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Adds a combinational gate and returns the net it drives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if `inputs.len()` differs from
+    /// the kind's pin count, and rejects [`CellKind::Dff`] (use
+    /// [`NetlistBuilder::dff`]).
+    pub fn gate(
+        &mut self,
+        kind: CellKind,
+        drive: DriveStrength,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        if kind.is_sequential() {
+            return Err(NetlistError::SequentialViaGate);
+        }
+        self.add_cell(Cell::new(kind, drive), inputs)
+    }
+
+    /// Adds a D flip-flop fed by `d` and returns its Q net.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a well-formed `d`; mirrors [`NetlistBuilder::gate`].
+    pub fn dff(&mut self, drive: DriveStrength, d: NetId) -> Result<NetId, NetlistError> {
+        self.add_cell(Cell::new(CellKind::Dff, drive), &[d])
+    }
+
+    /// Adds a D flip-flop whose D input is not yet known (needed for
+    /// feedback loops). Returns `(gate, q_net)`; connect the input later via
+    /// [`NetlistBuilder::connect_dff_input`].
+    pub fn dff_floating(&mut self, drive: DriveStrength) -> (GateId, NetId) {
+        let gate_id = GateId::from_index(self.gates.len());
+        let q = self.new_net(format!("q{}", gate_id.index()), Some(gate_id));
+        self.gates.push(Gate {
+            cell: Cell::new(CellKind::Dff, drive),
+            inputs: Vec::new(),
+            output: q,
+        });
+        self.floating_dffs.push(gate_id);
+        (gate_id, q)
+    }
+
+    /// Connects the D input of a flip-flop created by
+    /// [`NetlistBuilder::dff_floating`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotFloating`] if `dff` is not a floating DFF.
+    pub fn connect_dff_input(&mut self, dff: GateId, d: NetId) -> Result<(), NetlistError> {
+        let pos = self
+            .floating_dffs
+            .iter()
+            .position(|&g| g == dff)
+            .ok_or(NetlistError::NotFloating(dff))?;
+        self.floating_dffs.swap_remove(pos);
+        self.gates[dff.index()].inputs.push(d);
+        self.nets[d.index()].sinks.push(dff);
+        Ok(())
+    }
+
+    fn add_cell(&mut self, cell: Cell, inputs: &[NetId]) -> Result<NetId, NetlistError> {
+        if inputs.len() != cell.kind.input_count() {
+            return Err(NetlistError::ArityMismatch {
+                gate: GateId::from_index(self.gates.len()),
+                kind: cell.kind,
+                got: inputs.len(),
+            });
+        }
+        for &i in inputs {
+            if i.index() >= self.nets.len() {
+                return Err(NetlistError::UnknownNet(format!("{i}")));
+            }
+        }
+        let gate_id = GateId::from_index(self.gates.len());
+        let out = self.new_net(format!("w{}", gate_id.index()), Some(gate_id));
+        self.gates.push(Gate { cell, inputs: inputs.to_vec(), output: out });
+        for &i in inputs {
+            self.nets[i.index()].sinks.push(gate_id);
+        }
+        Ok(out)
+    }
+
+    /// Number of gates added so far (generators use this to hit gate-count
+    /// targets).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Finalizes the netlist, verifying all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotFloating`]-related
+    /// [`NetlistError::DanglingDff`] if a floating DFF was never connected,
+    /// or any error from [`Netlist::validate`].
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        if let Some(&g) = self.floating_dffs.first() {
+            return Err(NetlistError::DanglingDff(g));
+        }
+        let nl = Netlist {
+            name: self.name,
+            gates: self.gates,
+            nets: self.nets,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        };
+        nl.validate()?;
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_is_checked() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        assert!(matches!(
+            b.gate(CellKind::Nand2, DriveStrength::X1, &[a]),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dff_via_gate_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        assert!(matches!(
+            b.gate(CellKind::Dff, DriveStrength::X1, &[a]),
+            Err(NetlistError::SequentialViaGate)
+        ));
+    }
+
+    #[test]
+    fn unconnected_floating_dff_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let (_g, q) = b.dff_floating(DriveStrength::X1);
+        b.output(q, "q");
+        assert!(matches!(b.finish(), Err(NetlistError::DanglingDff(_))));
+    }
+
+    #[test]
+    fn connect_non_floating_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let q = b.dff(DriveStrength::X1, a).unwrap();
+        let gate = b.nets[q.index()].driver.unwrap();
+        assert!(matches!(
+            b.connect_dff_input(gate, a),
+            Err(NetlistError::NotFloating(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let bogus = NetId::from_index(99);
+        assert!(matches!(
+            b.gate(CellKind::Inv, DriveStrength::X1, &[bogus]),
+            Err(NetlistError::UnknownNet(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_output_marking_is_idempotent() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.gate(CellKind::Inv, DriveStrength::X1, &[a]).unwrap();
+        b.output(y, "y");
+        b.output(y, "y_again");
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.outputs().len(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Netlist construction / validation / parsing errors.
+
+use fbb_device::CellKind;
+use std::error::Error;
+use std::fmt;
+
+use crate::GateId;
+
+/// Errors produced while building, validating, or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was given the wrong number of input nets.
+    ArityMismatch {
+        /// The offending gate.
+        gate: GateId,
+        /// Its cell kind.
+        kind: CellKind,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// A referenced net does not exist.
+    UnknownNet(String),
+    /// An internal net has no driver.
+    UndrivenNet(String),
+    /// A primary input net is also driven by a gate.
+    DrivenPrimaryInput(String),
+    /// A net's recorded driver does not match gate connectivity.
+    InconsistentDriver(String),
+    /// The combinational graph contains a cycle.
+    CombinationalCycle {
+        /// Gates reachable in topological order.
+        reached: usize,
+        /// Total combinational gates.
+        total: usize,
+    },
+    /// `CellKind::Dff` was passed to the combinational-gate API.
+    SequentialViaGate,
+    /// A floating DFF was never given its D input.
+    DanglingDff(GateId),
+    /// The gate id does not refer to a floating DFF.
+    NotFloating(GateId),
+    /// Text-format parse error with line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch { gate, kind, got } => write!(
+                f,
+                "gate {gate} of kind {kind} expects {} inputs, got {got}",
+                kind.input_count()
+            ),
+            NetlistError::UnknownNet(n) => write!(f, "unknown net {n}"),
+            NetlistError::UndrivenNet(n) => write!(f, "net {n} has no driver and is not a primary input"),
+            NetlistError::DrivenPrimaryInput(n) => write!(f, "primary input {n} is also driven by a gate"),
+            NetlistError::InconsistentDriver(n) => write!(f, "net {n} driver record is inconsistent"),
+            NetlistError::CombinationalCycle { reached, total } => write!(
+                f,
+                "combinational cycle detected ({reached} of {total} gates reachable in topological order)"
+            ),
+            NetlistError::SequentialViaGate => {
+                write!(f, "flip-flops must be added with the dff builder method")
+            }
+            NetlistError::DanglingDff(g) => write!(f, "flip-flop {g} was never connected to a D input"),
+            NetlistError::NotFloating(g) => write!(f, "gate {g} is not a floating flip-flop"),
+            NetlistError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetlistError::UndrivenNet("foo".into());
+        assert!(e.to_string().contains("foo"));
+        let e = NetlistError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,331 @@
+//! Arithmetic circuit generators: adders and the array multiplier.
+
+use fbb_device::{CellKind, DriveStrength};
+
+use super::{full_adder, mux2, nor_full_adder, nor_half_adder, D1};
+use crate::{NetId, Netlist, NetlistBuilder, NetlistError};
+
+/// A `width`-bit ripple-carry adder.
+///
+/// Inputs `a0..`, `b0..`, `cin`; outputs `sum0..`, `cout`.
+/// With `registered = true`, the operands pass through an input DFF stage
+/// and the results through an output DFF stage, making the adder a
+/// register-to-register timing block.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction (never fails for valid
+/// `width >= 1`).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ripple_adder(name: &str, width: u32, registered: bool) -> Result<Netlist, NetlistError> {
+    assert!(width >= 1, "adder width must be at least 1");
+    let mut b = NetlistBuilder::new(name);
+    let mut a: Vec<_> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let mut x: Vec<_> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let mut cin = b.input("cin");
+    if registered {
+        for net in a.iter_mut().chain(x.iter_mut()) {
+            *net = b.dff(DriveStrength::X1, *net)?;
+        }
+        cin = b.dff(DriveStrength::X1, cin)?;
+    }
+
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(width as usize);
+    for i in 0..width as usize {
+        let (s, c) = full_adder(&mut b, a[i], x[i], carry)?;
+        sums.push(s);
+        carry = c;
+    }
+
+    if registered {
+        sums = sums
+            .into_iter()
+            .map(|s| b.dff(DriveStrength::X1, s))
+            .collect::<Result<_, _>>()?;
+        carry = b.dff(DriveStrength::X1, carry)?;
+    }
+    for (i, s) in sums.iter().enumerate() {
+        b.output(*s, format!("sum{i}"));
+    }
+    b.output(carry, "cout");
+    b.finish()
+}
+
+/// A `width`-bit carry-select adder built from `block`-bit ripple blocks.
+///
+/// Each block beyond the first is duplicated (computed for carry-in 0 and
+/// carry-in 1) and muxed by the incoming block carry — the classic
+/// speed-for-area trade synthesizers make on wide adders, which is how the
+/// paper's 128-bit adder reaches ~2000 gates.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn carry_select_adder(name: &str, width: u32, block: u32) -> Result<Netlist, NetlistError> {
+    assert!(width >= 1 && block >= 1, "width and block must be at least 1");
+    let mut b = NetlistBuilder::new(name);
+    let a: Vec<_> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<_> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let cin = b.input("cin");
+    let not_cin = b.gate(CellKind::Inv, D1, &[cin])?;
+    let zero = b.gate(CellKind::And2, D1, &[cin, not_cin])?; // constant 0
+    let one = b.gate(CellKind::Inv, D1, &[zero])?; // constant 1
+
+    let mut sums: Vec<Option<NetId>> = vec![None; width as usize];
+    let mut carry = cin;
+    let mut lo = 0u32;
+    let mut first = true;
+    while lo < width {
+        let hi = (lo + block).min(width);
+        if first {
+            // First block: plain ripple with the real carry-in.
+            for i in lo..hi {
+                let (s, c) = full_adder(&mut b, a[i as usize], x[i as usize], carry)?;
+                sums[i as usize] = Some(s);
+                carry = c;
+            }
+            first = false;
+        } else {
+            // Duplicated block: once with cin=0, once with cin=1, then mux.
+            let mut c0 = zero;
+            let mut c1 = one;
+            let mut s0 = Vec::new();
+            let mut s1 = Vec::new();
+            for i in lo..hi {
+                let (s, c) = full_adder(&mut b, a[i as usize], x[i as usize], c0)?;
+                s0.push(s);
+                c0 = c;
+                let (s, c) = full_adder(&mut b, a[i as usize], x[i as usize], c1)?;
+                s1.push(s);
+                c1 = c;
+            }
+            for (off, i) in (lo..hi).enumerate() {
+                sums[i as usize] = Some(mux2(&mut b, carry, s0[off], s1[off])?);
+            }
+            carry = mux2(&mut b, carry, c0, c1)?;
+        }
+        lo = hi;
+    }
+
+    let sums: Vec<_> = sums.into_iter().map(|s| s.expect("all bits filled")).collect();
+    for (i, s) in sums.iter().enumerate() {
+        b.output(*s, format!("sum{i}"));
+    }
+    b.output(carry, "cout");
+    b.finish()
+}
+
+/// A `width`×`width` carry-save array multiplier in the NOR-cell style of
+/// ISCAS c6288.
+///
+/// Inputs `a0..`, `b0..`; outputs `p0..p{2·width−1}`. The partial-product
+/// AND matrix feeds `width−1` carry-save adder rows; every product bit
+/// funnels through long diagonal chains, which is why almost all of c6288 is
+/// timing-critical (and why Table 1 shows tiny savings for it).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+pub fn array_multiplier(name: &str, width: u32) -> Result<Netlist, NetlistError> {
+    assert!(width >= 2, "multiplier width must be at least 2");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(name);
+    let a: Vec<_> = (0..w).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<_> = (0..w).map(|i| b.input(format!("b{i}"))).collect();
+
+    // Partial products pp[j][i] = a[i] & b[j], weight i + j.
+    let mut pp = Vec::with_capacity(w);
+    for bj in &x {
+        let mut row = Vec::with_capacity(w);
+        for ai in &a {
+            row.push(b.gate(CellKind::And2, D1, &[*ai, *bj])?);
+        }
+        pp.push(row);
+    }
+
+    let mut products = Vec::with_capacity(2 * w);
+    products.push(pp[0][0]); // weight 0 is final immediately
+
+    // Invariant entering row j: sum_bits[i] has weight j+i (len w-1) and
+    // carry_bits[i] has weight j+i (len w).
+    let mut sum_bits: Vec<NetId> = pp[0][1..].to_vec();
+    let mut carry_bits: Vec<Option<NetId>> = vec![None; w];
+
+    // Adds up to three operands of equal weight, returning (sum, carry).
+    fn add3(
+        b: &mut NetlistBuilder,
+        ops: [Option<NetId>; 3],
+    ) -> Result<(Option<NetId>, Option<NetId>), NetlistError> {
+        let present: Vec<NetId> = ops.into_iter().flatten().collect();
+        Ok(match present.as_slice() {
+            [] => (None, None),
+            [one] => (Some(*one), None),
+            [p, q] => {
+                let (s, c) = nor_half_adder(b, *p, *q)?;
+                (Some(s), Some(c))
+            }
+            [p, q, r] => {
+                let (s, c) = nor_full_adder(b, *p, *q, *r)?;
+                (Some(s), Some(c))
+            }
+            _ => unreachable!("at most three operands"),
+        })
+    }
+
+    // Cells within a carry-save row are independent, so they can be emitted
+    // in folded order (0, w/2, 1, w/2+1, ...): physical datapath rows then
+    // mix low-weight (early-finishing) and high-weight (critical-diagonal)
+    // cells, like the folded array layout of ISCAS c6288 — the property
+    // that leaves no row without timing-critical cells.
+    let fold: Vec<usize> = (0..w / 2)
+        .flat_map(|i| [i, w - 1 - i])
+        .chain(if w % 2 == 1 { Some(w / 2) } else { None })
+        .collect();
+    for j in 1..w {
+        // Index into new_carry = weight - j; needs w+1 slots for the top carry.
+        let mut new_sum: Vec<Option<NetId>> = vec![None; w];
+        let mut new_carry: Vec<Option<NetId>> = vec![None; w + 1];
+        for &i in &fold {
+            let (s, c) = add3(
+                &mut b,
+                [Some(pp[j][i]), sum_bits.get(i).copied(), carry_bits[i]],
+            )?;
+            new_sum[i] = s;
+            new_carry[i + 1] = c;
+        }
+        products.push(new_sum[0].expect("weight-j bit always has the pp operand"));
+        sum_bits = new_sum[1..]
+            .iter()
+            .map(|s| s.expect("interior bits always produce a sum"))
+            .collect();
+        carry_bits = new_carry[1..].to_vec();
+    }
+
+    // Final ripple row resolving weights w .. 2w-1. Entering: sum_bits[i] has
+    // weight w+i (len w-1), carry_bits[i] has weight w+i (len w).
+    let mut run: Option<NetId> = None;
+    for i in 0..w {
+        let (s, c) = add3(&mut b, [sum_bits.get(i).copied(), carry_bits[i], run])?;
+        // Weight 2w-1 is the last bit; its carry (weight 2w) is arithmetically
+        // always zero and intentionally left unconnected when present.
+        products.push(s.expect("final row bits are always populated by carry chain"));
+        run = c;
+    }
+
+    debug_assert_eq!(products.len(), 2 * w);
+    for (i, p) in products.iter().enumerate() {
+        b.output(*p, format!("p{i}"));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn ripple_adder_adds() {
+        let nl = ripple_adder("add8", 8, false).unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        for (av, bv, cv) in [(0u64, 0u64, 0u64), (255, 255, 1), (100, 27, 0), (200, 100, 1)] {
+            let ins = sim.encode_operands(&[("a", 8, av), ("b", 8, bv), ("cin", 1, cv)]);
+            let out = sim.eval(&ins).unwrap();
+            let sum = sim.decode_bus(&out, "sum", 8);
+            let cout = sim.decode_bus(&out, "cout", 1);
+            assert_eq!(sum + (cout << 8), av + bv + cv, "{av}+{bv}+{cv}");
+        }
+    }
+
+    #[test]
+    fn registered_adder_needs_two_cycles() {
+        let nl = ripple_adder("addr", 4, true).unwrap();
+        assert!(nl.dff_count() >= 9);
+        let mut sim = Simulator::new(&nl).unwrap();
+        let ins = sim.encode_operands(&[("a", 4, 5), ("b", 4, 6), ("cin", 1, 0)]);
+        sim.step(&ins).unwrap(); // cycle 1: operands latched
+        sim.step(&ins).unwrap(); // cycle 2: result latched
+        let out = sim.step(&ins).unwrap(); // cycle 3: result visible at Q
+        assert_eq!(sim.decode_bus(&out, "sum", 4), 11);
+    }
+
+    #[test]
+    fn carry_select_adder_matches_reference() {
+        let nl = carry_select_adder("csa16", 16, 4).unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        for (av, bv, cv) in [
+            (0u64, 0u64, 0u64),
+            (65535, 65535, 1),
+            (12345, 54321, 0),
+            (40000, 30000, 1),
+            (1, 65534, 1),
+            (4096, 61440, 0),
+        ] {
+            let ins = sim.encode_operands(&[("a", 16, av), ("b", 16, bv), ("cin", 1, cv)]);
+            let out = sim.eval(&ins).unwrap();
+            let sum = sim.decode_bus(&out, "sum", 16);
+            let cout = sim.decode_bus(&out, "cout", 1);
+            assert_eq!(sum + (cout << 16), av + bv + cv, "{av}+{bv}+{cv}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies_4x4_exhaustively() {
+        let nl = array_multiplier("mul4", 4).unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let ins = sim.encode_operands(&[("a", 4, av), ("b", 4, bv)]);
+                let out = sim.eval(&ins).unwrap();
+                let p = sim.decode_bus(&out, "p", 8);
+                assert_eq!(p, av * bv, "{av}*{bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies_8x8_spot_checks() {
+        let nl = array_multiplier("mul8", 8).unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        for (av, bv) in [(0u64, 0u64), (255, 255), (173, 92), (200, 201), (1, 255)] {
+            let ins = sim.encode_operands(&[("a", 8, av), ("b", 8, bv)]);
+            let out = sim.eval(&ins).unwrap();
+            assert_eq!(sim.decode_bus(&out, "p", 16), av * bv, "{av}*{bv}");
+        }
+    }
+
+    #[test]
+    fn c6288_class_size() {
+        let nl = array_multiplier("c6288ish", 16).unwrap();
+        // Paper: 2740 gates. The NOR-cell array lands in the same class.
+        assert!(
+            (2100..=3100).contains(&nl.gate_count()),
+            "got {} gates",
+            nl.gate_count()
+        );
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn adder128_class_size() {
+        let nl = carry_select_adder("adder128", 128, 8).unwrap();
+        // Paper: 2026 gates.
+        assert!(
+            (1600..=2500).contains(&nl.gate_count()),
+            "got {} gates",
+            nl.gate_count()
+        );
+    }
+}

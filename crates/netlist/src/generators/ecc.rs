@@ -1,0 +1,254 @@
+//! Hamming single-error-correcting circuit (c1355 size class).
+//!
+//! ISCAS c1355 is a 32-bit single-error-correcting network. This generator
+//! builds a real Hamming SEC decoder: syndrome XOR trees, a syndrome
+//! decoder, and correction XORs, plus a double-error-detect overall parity.
+
+use fbb_device::CellKind;
+
+use super::{and_tree, xor_chain, xor_tree, D1};
+use crate::{NetId, Netlist, NetlistBuilder, NetlistError};
+
+/// Position layout of a Hamming code with `data_bits` data bits: returns
+/// `(data_positions, parity_positions)` using 1-based codeword positions
+/// where parity bits sit at powers of two.
+pub fn hamming_positions(data_bits: u32) -> (Vec<u32>, Vec<u32>) {
+    let mut data_pos = Vec::with_capacity(data_bits as usize);
+    let mut parity_pos = Vec::new();
+    let mut pos = 1u32;
+    while (data_pos.len() as u32) < data_bits {
+        if pos.is_power_of_two() {
+            parity_pos.push(pos);
+        } else {
+            data_pos.push(pos);
+        }
+        pos += 1;
+    }
+    // Parity bits whose positions fall beyond the last data bit still exist.
+    let max = *data_pos.last().expect("at least one data bit");
+    let mut p = 1u32;
+    while p <= max {
+        p <<= 1;
+    }
+    let _ = p;
+    (data_pos, parity_pos)
+}
+
+/// Reference software encoder: computes the parity bits for `data` under the
+/// same position layout the circuit uses (for tests and workloads).
+pub fn hamming_encode(data_bits: u32, data: u64) -> u64 {
+    let (data_pos, parity_pos) = hamming_positions(data_bits);
+    let mut parity = 0u64;
+    for (j, &pp) in parity_pos.iter().enumerate() {
+        let mut bit = false;
+        for (i, &dp) in data_pos.iter().enumerate() {
+            if dp & pp != 0 && (data >> i) & 1 == 1 {
+                bit ^= true;
+            }
+        }
+        if bit {
+            parity |= 1 << j;
+        }
+    }
+    parity
+}
+
+/// A `data_bits`-wide Hamming single-error corrector.
+///
+/// Inputs `d0..` (received data) and `p0..` (received parity); outputs the
+/// corrected word `q0..`, the `err` flag (nonzero syndrome), and `ded`
+/// (double-error detect via overall parity). With `nand_xor = true` the
+/// correction XORs are decomposed into four NAND2s each, mimicking the
+/// NAND-mapped ISCAS netlist and raising the gate count into c1355's class.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `data_bits == 0`.
+pub fn ecc_corrector(name: &str, data_bits: u32, nand_xor: bool) -> Result<Netlist, NetlistError> {
+    assert!(data_bits >= 1);
+    let (data_pos, parity_pos) = hamming_positions(data_bits);
+    let n_parity = parity_pos.len();
+
+    let mut b = NetlistBuilder::new(name);
+    let d: Vec<_> = (0..data_bits).map(|i| b.input(format!("d{i}"))).collect();
+    let p: Vec<_> = (0..n_parity).map(|i| b.input(format!("p{i}"))).collect();
+    let pov = b.input("pov"); // received overall parity
+
+    // Syndrome bit j = parity_j XOR (XOR of covered data bits).
+    let mut syndrome = Vec::with_capacity(n_parity);
+    for (j, &pp) in parity_pos.iter().enumerate() {
+        let mut covered: Vec<NetId> = data_pos
+            .iter()
+            .enumerate()
+            .filter(|&(_, &dp)| dp & pp != 0)
+            .map(|(i, _)| d[i])
+            .collect();
+        covered.push(p[j]);
+        // Chain-mapped parity (area-driven mapping): long skewed paths.
+        syndrome.push(xor_chain(&mut b, &covered)?);
+    }
+    let syndrome_inv: Vec<NetId> = syndrome
+        .iter()
+        .map(|&s| b.gate(CellKind::Inv, D1, &[s]))
+        .collect::<Result<_, _>>()?;
+
+    // err = OR of syndrome bits.
+    let err = super::or_tree(&mut b, &syndrome)?;
+
+    // Overall parity of everything received; a single error flips it, a
+    // double error leaves it — so ded = err & !parity_mismatch ... the usual
+    // SEC-DED condition is ded = nonzero syndrome with even overall parity.
+    let mut all: Vec<NetId> = d.clone();
+    all.extend_from_slice(&p);
+    all.push(pov);
+    let overall = xor_tree(&mut b, &all)?;
+    let n_overall = b.gate(CellKind::Inv, D1, &[overall])?;
+    let ded = b.gate(CellKind::And2, D1, &[err, n_overall])?;
+
+    // Correct each data bit: flip when the syndrome equals its position.
+    let mut q = Vec::with_capacity(data_bits as usize);
+    for (i, &dp) in data_pos.iter().enumerate() {
+        let literals: Vec<NetId> = (0..n_parity)
+            .map(|j| if dp & parity_pos[j] != 0 { syndrome[j] } else { syndrome_inv[j] })
+            .collect();
+        let hit = and_tree(&mut b, &literals)?;
+        let corrected = if nand_xor {
+            // XOR(a, b) = NAND(NAND(a, NAND(a,b)), NAND(b, NAND(a,b)))
+            let nab = b.gate(CellKind::Nand2, D1, &[d[i], hit])?;
+            let l = b.gate(CellKind::Nand2, D1, &[d[i], nab])?;
+            let r = b.gate(CellKind::Nand2, D1, &[hit, nab])?;
+            b.gate(CellKind::Nand2, D1, &[l, r])?
+        } else {
+            b.gate(CellKind::Xor2, D1, &[d[i], hit])?
+        };
+        q.push(corrected);
+    }
+
+    for (i, bit) in q.iter().enumerate() {
+        b.output(*bit, format!("q{i}"));
+    }
+    b.output(err, "err");
+    b.output(ded, "ded");
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn positions_are_disjoint_and_complete() {
+        let (data, parity) = hamming_positions(32);
+        assert_eq!(data.len(), 32);
+        assert_eq!(parity.len(), 6);
+        for &p in &parity {
+            assert!(p.is_power_of_two());
+            assert!(!data.contains(&p));
+        }
+    }
+
+    fn run_case(data_bits: u32, word: u64, flip_data: Option<u32>, flip_parity: Option<u32>) {
+        let nl = ecc_corrector("ecc", data_bits, false).unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        let parity = hamming_encode(data_bits, word);
+        let mut data_rx = word;
+        if let Some(bit) = flip_data {
+            data_rx ^= 1 << bit;
+        }
+        let mut parity_rx = parity;
+        if let Some(bit) = flip_parity {
+            parity_rx ^= 1 << bit;
+        }
+        let n_parity = hamming_positions(data_bits).1.len() as u32;
+        // Overall parity of transmitted word (data + parity + pov itself even).
+        let pov_tx =
+            (word.count_ones() + parity.count_ones()) % 2 == 1;
+        let mut pov_rx = pov_tx;
+        // pov not flipped in these cases
+        let _ = &mut pov_rx;
+        let ins = sim.encode_operands(&[
+            ("d", data_bits, data_rx),
+            ("p", n_parity, parity_rx),
+            ("pov", 1, u64::from(pov_rx)),
+        ]);
+        let out = sim.eval(&ins).unwrap();
+        let corrected = sim.decode_bus(&out, "q", data_bits);
+        assert_eq!(corrected, word, "failed to correct {flip_data:?}/{flip_parity:?}");
+        let expect_err = flip_data.is_some() || flip_parity.is_some();
+        assert_eq!(sim.decode_bus(&out, "err", 1) == 1, expect_err);
+    }
+
+    #[test]
+    fn clean_word_passes_through() {
+        run_case(32, 0xDEAD_BEEF, None, None);
+        run_case(32, 0, None, None);
+        run_case(32, u32::MAX as u64, None, None);
+    }
+
+    #[test]
+    fn corrects_every_single_data_bit_error() {
+        for bit in 0..32 {
+            run_case(32, 0xCAFE_F00D, Some(bit), None);
+        }
+    }
+
+    #[test]
+    fn parity_bit_errors_leave_data_intact() {
+        for bit in 0..6 {
+            run_case(32, 0x1234_5678, None, Some(bit));
+        }
+    }
+
+    #[test]
+    fn detects_double_error() {
+        let nl = ecc_corrector("ecc", 32, false).unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        let word = 0xA5A5_5A5A_u64;
+        let parity = hamming_encode(32, word);
+        let data_rx = word ^ 0b101; // two flipped bits
+        let pov = (word.count_ones() + parity.count_ones()) % 2 == 1;
+        let ins = sim.encode_operands(&[
+            ("d", 32, data_rx),
+            ("p", 6, parity),
+            ("pov", 1, u64::from(pov)),
+        ]);
+        let out = sim.eval(&ins).unwrap();
+        assert_eq!(sim.decode_bus(&out, "ded", 1), 1, "double error must be flagged");
+    }
+
+    #[test]
+    fn c1355_class_size() {
+        let plain = ecc_corrector("ecc", 32, false).unwrap();
+        let nand = ecc_corrector("ecc", 32, true).unwrap();
+        assert!(nand.gate_count() > plain.gate_count());
+        // Paper: 439 gates.
+        assert!(
+            (330..=560).contains(&nand.gate_count()),
+            "got {} gates",
+            nand.gate_count()
+        );
+    }
+
+    #[test]
+    fn nand_xor_variant_still_corrects() {
+        let nl = ecc_corrector("ecc", 16, true).unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        let word = 0xBEEF_u64;
+        let parity = hamming_encode(16, word);
+        let pov = (word.count_ones() + parity.count_ones()) % 2 == 1;
+        for bit in 0..16 {
+            let ins = sim.encode_operands(&[
+                ("d", 16, word ^ (1 << bit)),
+                ("p", 5, parity),
+                ("pov", 1, u64::from(pov)),
+            ]);
+            let out = sim.eval(&ins).unwrap();
+            assert_eq!(sim.decode_bus(&out, "q", 16), word);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Deterministic benchmark-circuit generators.
+//!
+//! The paper's benchmarks are not redistributable, so each generator builds
+//! a *functionally real* circuit of the same family and size class:
+//!
+//! | Paper design | Generator | Structure |
+//! |---|---|---|
+//! | c1355 | [`ecc_corrector`] | Hamming SEC syndrome + decode + correct |
+//! | c3540 | [`alu`] | adder/sub + bitwise ops + op mux + zero detect |
+//! | c5315 | [`alu_selector`] | two ALUs + magnitude comparator + select |
+//! | c7552 | [`adder_comparator`] | wide adder + comparator + parity trees |
+//! | adder 128bits | [`carry_select_adder`] | CSA blocks (duplicated ripple + mux) |
+//! | c6288 | [`array_multiplier`] | NOR-cell carry-save array multiplier |
+//! | Industrial1–3 | [`random_logic`] | seeded layered random mapped logic |
+//!
+//! All generators are deterministic: same arguments, same netlist.
+
+mod alu;
+mod arith;
+mod ecc;
+mod random;
+
+pub use alu::{adder_comparator, alu, alu_selector};
+pub use arith::{array_multiplier, carry_select_adder, ripple_adder};
+pub use ecc::{ecc_corrector, hamming_encode, hamming_positions};
+pub use random::{random_logic, RandomLogicOptions};
+
+use fbb_device::{CellKind, DriveStrength};
+
+use crate::{NetId, NetlistBuilder, NetlistError};
+
+/// Drive strength assignment used by the structured generators: longer
+/// carry-chain style gates get stronger drives, mimicking a timing-driven
+/// mapping.
+pub(crate) const D1: DriveStrength = DriveStrength::X1;
+pub(crate) const D2: DriveStrength = DriveStrength::X2;
+
+/// Deterministic drive-strength jitter, keyed on the builder's gate count.
+/// Real timing-driven mappings mix drive strengths; the resulting delay
+/// diversity is what gives benchmark paths a realistic slack distribution.
+pub(crate) fn jitter(b: &NetlistBuilder) -> DriveStrength {
+    // A small multiplicative hash keeps the choice stable but unpatterned.
+    match (b.gate_count().wrapping_mul(2654435761)) % 10 {
+        0..=5 => DriveStrength::X1,
+        6..=8 => DriveStrength::X2,
+        _ => DriveStrength::X4,
+    }
+}
+
+/// 2:1 mux from basic gates: `out = s ? y : x` (4 gates).
+pub fn mux2(
+    b: &mut NetlistBuilder,
+    s: NetId,
+    x: NetId,
+    y: NetId,
+) -> Result<NetId, NetlistError> {
+    let dj = jitter(b);
+    let ns = b.gate(CellKind::Inv, dj, &[s])?;
+    let ax = b.gate(CellKind::And2, D1, &[x, ns])?;
+    let ay = b.gate(CellKind::And2, D1, &[y, s])?;
+    b.gate(CellKind::Or2, D1, &[ax, ay])
+}
+
+/// XOR-based full adder (5 gates): returns `(sum, cout)`.
+pub fn full_adder(
+    b: &mut NetlistBuilder,
+    a: NetId,
+    x: NetId,
+    cin: NetId,
+) -> Result<(NetId, NetId), NetlistError> {
+    let dj = jitter(b);
+    let t = b.gate(CellKind::Xor2, dj, &[a, x])?;
+    let sum = b.gate(CellKind::Xor2, D1, &[t, cin])?;
+    let c1 = b.gate(CellKind::And2, D1, &[a, x])?;
+    let c2 = b.gate(CellKind::And2, D1, &[t, cin])?;
+    let cout = b.gate(CellKind::Or2, D2, &[c1, c2])?;
+    Ok((sum, cout))
+}
+
+/// Half adder (2 gates): returns `(sum, cout)`.
+pub fn half_adder(
+    b: &mut NetlistBuilder,
+    a: NetId,
+    x: NetId,
+) -> Result<(NetId, NetId), NetlistError> {
+    let sum = b.gate(CellKind::Xor2, D1, &[a, x])?;
+    let cout = b.gate(CellKind::And2, D1, &[a, x])?;
+    Ok((sum, cout))
+}
+
+/// The classic 9-gate NOR-only full adder used by ISCAS c6288's adder
+/// modules: returns `(sum, cout)`.
+pub fn nor_full_adder(
+    b: &mut NetlistBuilder,
+    a: NetId,
+    x: NetId,
+    cin: NetId,
+) -> Result<(NetId, NetId), NetlistError> {
+    let n1 = b.gate(CellKind::Nor2, D1, &[a, x])?;
+    let n2 = b.gate(CellKind::Nor2, D1, &[a, n1])?;
+    let n3 = b.gate(CellKind::Nor2, D1, &[x, n1])?;
+    let n4 = b.gate(CellKind::Nor2, D1, &[n2, n3])?; // xnor(a, x)
+    let n5 = b.gate(CellKind::Nor2, D1, &[n4, cin])?;
+    let n6 = b.gate(CellKind::Nor2, D1, &[n4, n5])?;
+    let n7 = b.gate(CellKind::Nor2, D1, &[cin, n5])?;
+    let sum = b.gate(CellKind::Nor2, D1, &[n6, n7])?;
+    let cout = b.gate(CellKind::Nor2, D2, &[n1, n5])?;
+    Ok((sum, cout))
+}
+
+/// NOR/INV half adder (6 gates, c6288 style): returns `(sum, cout)`.
+pub fn nor_half_adder(
+    b: &mut NetlistBuilder,
+    a: NetId,
+    x: NetId,
+) -> Result<(NetId, NetId), NetlistError> {
+    let n1 = b.gate(CellKind::Nor2, D1, &[a, x])?;
+    let n2 = b.gate(CellKind::Nor2, D1, &[a, n1])?;
+    let n3 = b.gate(CellKind::Nor2, D1, &[x, n1])?;
+    let n4 = b.gate(CellKind::Nor2, D1, &[n2, n3])?; // xnor
+    let sum = b.gate(CellKind::Inv, D1, &[n4])?;
+    let cout = b.gate(CellKind::And2, D1, &[a, x])?;
+    Ok((sum, cout))
+}
+
+/// Balanced XOR reduction tree over `nets` (n−1 gates).
+pub fn xor_tree(b: &mut NetlistBuilder, nets: &[NetId]) -> Result<NetId, NetlistError> {
+    reduce_tree(b, nets, CellKind::Xor2)
+}
+
+/// Linear XOR reduction chain (n−1 gates, depth n−1): the skewed mapping a
+/// area-driven synthesis run produces for non-critical parity logic.
+pub fn xor_chain(b: &mut NetlistBuilder, nets: &[NetId]) -> Result<NetId, NetlistError> {
+    reduce_chain(b, nets, CellKind::Xor2)
+}
+
+/// Linear OR reduction chain.
+pub fn or_chain(b: &mut NetlistBuilder, nets: &[NetId]) -> Result<NetId, NetlistError> {
+    reduce_chain(b, nets, CellKind::Or2)
+}
+
+fn reduce_tree(
+    b: &mut NetlistBuilder,
+    nets: &[NetId],
+    kind: CellKind,
+) -> Result<NetId, NetlistError> {
+    assert!(!nets.is_empty(), "reduction needs at least one input");
+    let mut layer = nets.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let d = jitter(b);
+                next.push(b.gate(kind, d, &[pair[0], pair[1]])?);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    Ok(layer[0])
+}
+
+fn reduce_chain(
+    b: &mut NetlistBuilder,
+    nets: &[NetId],
+    kind: CellKind,
+) -> Result<NetId, NetlistError> {
+    assert!(!nets.is_empty(), "reduction needs at least one input");
+    let mut acc = nets[0];
+    for &n in &nets[1..] {
+        let d = jitter(b);
+        acc = b.gate(kind, d, &[acc, n])?;
+    }
+    Ok(acc)
+}
+
+/// Balanced OR reduction tree over `nets` (n−1 gates).
+pub fn or_tree(b: &mut NetlistBuilder, nets: &[NetId]) -> Result<NetId, NetlistError> {
+    reduce_tree(b, nets, CellKind::Or2)
+}
+
+/// Balanced AND reduction tree over `nets` (n−1 gates).
+pub fn and_tree(b: &mut NetlistBuilder, nets: &[NetId]) -> Result<NetId, NetlistError> {
+    reduce_tree(b, nets, CellKind::And2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use std::collections::HashMap;
+
+    #[test]
+    fn nor_full_adder_truth_table() {
+        for bits in 0..8u32 {
+            let (av, xv, cv) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let mut b = NetlistBuilder::new("fa");
+            let a = b.input("a");
+            let x = b.input("x");
+            let c = b.input("c");
+            let (s, co) = nor_full_adder(&mut b, a, x, c).unwrap();
+            b.output(s, "s");
+            b.output(co, "co");
+            let nl = b.finish().unwrap();
+            let sim = Simulator::new(&nl).unwrap();
+            let mut ins = HashMap::new();
+            ins.insert(a, av);
+            ins.insert(x, xv);
+            ins.insert(c, cv);
+            let vals = sim.eval(&ins).unwrap();
+            let total = u8::from(av) + u8::from(xv) + u8::from(cv);
+            assert_eq!(vals[&s], total & 1 == 1, "sum mismatch at {bits:03b}");
+            assert_eq!(vals[&co], total >= 2, "carry mismatch at {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn xor_fa_and_nor_fa_agree() {
+        for bits in 0..8u32 {
+            let (av, xv, cv) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            let mut b = NetlistBuilder::new("fa2");
+            let a = b.input("a");
+            let x = b.input("x");
+            let c = b.input("c");
+            let (s1, c1) = full_adder(&mut b, a, x, c).unwrap();
+            let (s2, c2) = nor_full_adder(&mut b, a, x, c).unwrap();
+            b.output(s1, "s1");
+            b.output(c1, "c1");
+            b.output(s2, "s2");
+            b.output(c2, "c2");
+            let nl = b.finish().unwrap();
+            let sim = Simulator::new(&nl).unwrap();
+            let mut ins = HashMap::new();
+            ins.insert(a, av);
+            ins.insert(x, xv);
+            ins.insert(c, cv);
+            let vals = sim.eval(&ins).unwrap();
+            assert_eq!(vals[&s1], vals[&s2]);
+            assert_eq!(vals[&c1], vals[&c2]);
+        }
+    }
+
+    #[test]
+    fn half_adders_agree() {
+        for bits in 0..4u32 {
+            let (av, xv) = (bits & 1 == 1, bits & 2 == 2);
+            let mut b = NetlistBuilder::new("ha");
+            let a = b.input("a");
+            let x = b.input("x");
+            let (s1, c1) = half_adder(&mut b, a, x).unwrap();
+            let (s2, c2) = nor_half_adder(&mut b, a, x).unwrap();
+            b.output(s1, "s1");
+            b.output(c1, "c1");
+            b.output(s2, "s2");
+            b.output(c2, "c2");
+            let nl = b.finish().unwrap();
+            let sim = Simulator::new(&nl).unwrap();
+            let mut ins = HashMap::new();
+            ins.insert(a, av);
+            ins.insert(x, xv);
+            let vals = sim.eval(&ins).unwrap();
+            assert_eq!(vals[&s1], vals[&s2]);
+            assert_eq!(vals[&c1], vals[&c2]);
+        }
+    }
+
+    #[test]
+    fn trees_reduce_correctly() {
+        let mut b = NetlistBuilder::new("trees");
+        let ins: Vec<NetId> = (0..5).map(|i| b.input(format!("i{i}"))).collect();
+        let x = xor_tree(&mut b, &ins).unwrap();
+        let o = or_tree(&mut b, &ins).unwrap();
+        let a = and_tree(&mut b, &ins).unwrap();
+        b.output(x, "x");
+        b.output(o, "o");
+        b.output(a, "a");
+        let nl = b.finish().unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        let pattern = [true, false, true, true, false];
+        let mut m = HashMap::new();
+        for (net, v) in ins.iter().zip(pattern) {
+            m.insert(*net, v);
+        }
+        let vals = sim.eval(&m).unwrap();
+        assert_eq!(vals[&x], true ^ false ^ true ^ true ^ false);
+        assert!(vals[&o]);
+        assert!(!vals[&a]);
+    }
+
+    #[test]
+    fn mux2_selects() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.input("s");
+        let x = b.input("x");
+        let y = b.input("y");
+        let out = mux2(&mut b, s, x, y).unwrap();
+        b.output(out, "z");
+        let nl = b.finish().unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        for (sv, xv, yv) in [(false, true, false), (true, true, false)] {
+            let mut ins = HashMap::new();
+            ins.insert(s, sv);
+            ins.insert(x, xv);
+            ins.insert(y, yv);
+            let vals = sim.eval(&ins).unwrap();
+            assert_eq!(vals[&out], if sv { yv } else { xv });
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Seeded random mapped-logic generator (industrial-module size class).
+
+use fbb_device::{CellKind, DriveStrength};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{NetId, Netlist, NetlistBuilder, NetlistError};
+
+/// Parameters for [`random_logic`].
+///
+/// The generator emits a layered random DAG whose input-selection window
+/// controls logic depth: gates mostly read recently created nets, producing
+/// long sensitizable paths like synthesized control/datapath logic, with a
+/// tail of long-range taps producing reconvergent fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomLogicOptions {
+    /// Exact number of gates to emit (including input registers).
+    pub target_gates: usize,
+    /// Number of primary inputs.
+    pub n_inputs: usize,
+    /// RNG seed; same seed, same netlist.
+    pub seed: u64,
+    /// Register the primary inputs through DFFs (SoC-module style).
+    pub registered: bool,
+    /// Locality window for input selection; `0` picks `target_gates / 24`,
+    /// which yields typical synthesized-logic depths.
+    pub locality_window: usize,
+}
+
+impl RandomLogicOptions {
+    /// Options for an industrial-module-like block of `target_gates` gates.
+    pub fn industrial(target_gates: usize, n_inputs: usize, seed: u64) -> Self {
+        RandomLogicOptions {
+            target_gates,
+            n_inputs,
+            seed,
+            registered: true,
+            locality_window: 0,
+        }
+    }
+}
+
+const KIND_WEIGHTS: [(CellKind, u32); 10] = [
+    (CellKind::Nand2, 22),
+    (CellKind::Nor2, 14),
+    (CellKind::Inv, 14),
+    (CellKind::And2, 10),
+    (CellKind::Or2, 10),
+    (CellKind::Nand3, 8),
+    (CellKind::Nor3, 7),
+    (CellKind::Xor2, 6),
+    (CellKind::Nand4, 5),
+    (CellKind::Buf, 4),
+];
+
+fn pick_kind(rng: &mut ChaCha8Rng) -> CellKind {
+    let total: u32 = KIND_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(kind, w) in &KIND_WEIGHTS {
+        if roll < w {
+            return kind;
+        }
+        roll -= w;
+    }
+    unreachable!("weights cover the roll range")
+}
+
+fn pick_drive(rng: &mut ChaCha8Rng) -> DriveStrength {
+    match rng.gen_range(0..20) {
+        0..=15 => DriveStrength::X1,
+        16..=18 => DriveStrength::X2,
+        _ => DriveStrength::X4,
+    }
+}
+
+/// Generates a random mapped-logic block (the paper's Industrial1–3 stand-in).
+///
+/// The circuit is acyclic by construction (gates only read existing nets)
+/// and hits `target_gates` exactly. All sink-less nets become primary
+/// outputs, so no logic is dangling.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `n_inputs == 0` or `target_gates` is too small to register the
+/// inputs.
+pub fn random_logic(name: &str, options: &RandomLogicOptions) -> Result<Netlist, NetlistError> {
+    assert!(options.n_inputs >= 4, "need at least 4 inputs");
+    let reg_gates = if options.registered { options.n_inputs } else { 0 };
+    assert!(
+        options.target_gates > reg_gates + 8,
+        "target too small for the requested input register stage"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
+    let mut b = NetlistBuilder::new(name);
+
+    let mut pool: Vec<NetId> = Vec::with_capacity(options.target_gates);
+    for i in 0..options.n_inputs {
+        let pi = b.input(format!("i{i}"));
+        if options.registered {
+            pool.push(b.dff(DriveStrength::X1, pi)?);
+        } else {
+            pool.push(pi);
+        }
+    }
+
+    let window = if options.locality_window == 0 {
+        (options.target_gates / 24).max(16)
+    } else {
+        options.locality_window
+    };
+
+    while b.gate_count() < options.target_gates {
+        let kind = pick_kind(&mut rng);
+        let drive = pick_drive(&mut rng);
+        let arity = kind.input_count();
+        let mut inputs = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            // 75% local (recent window), 25% global tap for reconvergence.
+            let idx = if rng.gen_bool(0.75) {
+                let lo = pool.len().saturating_sub(window);
+                rng.gen_range(lo..pool.len())
+            } else {
+                rng.gen_range(0..pool.len())
+            };
+            let mut net = pool[idx];
+            // Avoid duplicate pins where cheaply possible.
+            let mut retry = 0;
+            while inputs.contains(&net) && retry < 3 {
+                let lo = pool.len().saturating_sub(window);
+                net = pool[rng.gen_range(lo..pool.len())];
+                retry += 1;
+            }
+            inputs.push(net);
+        }
+        let out = b.gate(kind, drive, &inputs)?;
+        pool.push(out);
+    }
+
+    let nl_probe = b.clone().finish()?;
+    // Every sink-less net becomes a primary output.
+    let mut out_count = 0;
+    for (_, gate) in nl_probe.iter_gates() {
+        let net = nl_probe.net(gate.output);
+        if net.sinks.is_empty() {
+            b.output(gate.output, format!("o{out_count}"));
+            out_count += 1;
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_exact_gate_target() {
+        let opts = RandomLogicOptions::industrial(500, 32, 42);
+        let nl = random_logic("r", &opts).unwrap();
+        assert_eq!(nl.gate_count(), 500);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let opts = RandomLogicOptions::industrial(300, 16, 7);
+        let a = random_logic("r", &opts).unwrap();
+        let b = random_logic("r", &opts).unwrap();
+        assert_eq!(a, b);
+        let mut opts2 = opts.clone();
+        opts2.seed = 8;
+        let c = random_logic("r", &opts2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_dangling_logic() {
+        let opts = RandomLogicOptions::industrial(400, 24, 3);
+        let nl = random_logic("r", &opts).unwrap();
+        assert_eq!(nl.dangling_output_fraction(), 0.0);
+    }
+
+    #[test]
+    fn registered_inputs_present() {
+        let opts = RandomLogicOptions::industrial(200, 16, 5);
+        let nl = random_logic("r", &opts).unwrap();
+        assert_eq!(nl.dff_count(), 16);
+        let mut unregistered = opts.clone();
+        unregistered.registered = false;
+        let nl2 = random_logic("r", &unregistered).unwrap();
+        assert_eq!(nl2.dff_count(), 0);
+    }
+
+    #[test]
+    fn depth_scales_with_window() {
+        // Tighter window => deeper logic. Depth proxy: longest topological chain.
+        fn depth(nl: &Netlist) -> usize {
+            let order = nl.topo_order().unwrap();
+            let mut level = vec![0usize; nl.gate_count()];
+            let mut max = 0;
+            for id in order {
+                let gate = nl.gate(id);
+                let mut l = 0;
+                for &input in &gate.inputs {
+                    if let Some(driver) = nl.net(input).driver {
+                        l = l.max(level[driver.index()] + 1);
+                    }
+                }
+                level[id.index()] = l;
+                max = max.max(l);
+            }
+            max
+        }
+        let narrow = random_logic(
+            "n",
+            &RandomLogicOptions { target_gates: 600, n_inputs: 16, seed: 1, registered: false, locality_window: 8 },
+        )
+        .unwrap();
+        let wide = random_logic(
+            "w",
+            &RandomLogicOptions { target_gates: 600, n_inputs: 16, seed: 1, registered: false, locality_window: 400 },
+        )
+        .unwrap();
+        assert!(depth(&narrow) > depth(&wide));
+    }
+}

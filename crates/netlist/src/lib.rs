@@ -1,0 +1,53 @@
+//! Gate-level netlist infrastructure and benchmark circuit generators.
+//!
+//! The DATE 2009 clustered-FBB paper evaluates on five ISCAS-85 benchmarks,
+//! a 128-bit adder, and three industrial SoC modules, synthesized onto a
+//! reduced 45 nm library (INV/AND/OR/NAND/NOR/DFF). The original netlists
+//! are not redistributable, so this crate provides:
+//!
+//! * a compact single-output gate-level [`Netlist`] representation with a
+//!   [`NetlistBuilder`], structural [validation](Netlist::validate), a text
+//!   [format](fmt) for round-tripping, and a boolean [simulator](sim);
+//! * deterministic **generators** ([`generators`]) producing functionally
+//!   real circuits (ripple/carry-select adders, array multipliers, an
+//!   error-correcting XOR/decode circuit, ALU-style logic, and seeded random
+//!   mapped logic) at the paper's gate counts;
+//! * the nine-design Table 1 [`suite`].
+//!
+//! # Example
+//!
+//! ```
+//! use fbb_device::{CellKind, DriveStrength};
+//! use fbb_netlist::NetlistBuilder;
+//!
+//! # fn main() -> Result<(), fbb_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("half_adder");
+//! let a = b.input("a");
+//! let c = b.input("b");
+//! let sum = b.gate(CellKind::Xor2, DriveStrength::X1, &[a, c])?;
+//! let carry = b.gate(CellKind::And2, DriveStrength::X1, &[a, c])?;
+//! b.output(sum, "sum");
+//! b.output(carry, "carry");
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.gate_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_fmt;
+mod builder;
+mod error;
+pub mod fmt;
+pub mod generators;
+mod merge;
+mod netlist;
+pub mod sim;
+pub mod suite;
+
+pub use builder::NetlistBuilder;
+pub use merge::merge;
+pub use error::NetlistError;
+pub use netlist::{Gate, GateId, Net, NetId, Netlist};

@@ -1,0 +1,248 @@
+//! Cycle-accurate boolean simulation.
+//!
+//! Used to verify that the benchmark generators produce *functionally real*
+//! circuits (the adder adds, the multiplier multiplies, the ECC circuit
+//! corrects single-bit errors) rather than arbitrary gate soup.
+
+use std::collections::HashMap;
+
+use crate::{NetId, Netlist, NetlistError};
+
+/// A boolean simulator over one netlist.
+///
+/// Combinational evaluation happens in topological order; flip-flops update
+/// on [`Simulator::step`].
+///
+/// ```
+/// use fbb_netlist::{generators, sim::Simulator};
+///
+/// let nl = generators::ripple_adder("add8", 8, false).expect("valid generator");
+/// let mut sim = Simulator::new(&nl).expect("acyclic");
+/// let inputs = sim.encode_operands(&[("a", 8, 23), ("b", 8, 42), ("cin", 1, 0)]);
+/// let out = sim.eval(&inputs).expect("all inputs driven");
+/// assert_eq!(sim.decode_bus(&out, "sum", 8) + (sim.decode_bus(&out, "cout", 1) << 8), 65);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    topo: Vec<crate::GateId>,
+    /// Current DFF state, indexed like `netlist.gates()` (unused for
+    /// combinational gates).
+    state: Vec<bool>,
+    input_index: HashMap<String, NetId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator (computes the topological order once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        let topo = netlist.topo_order()?;
+        let input_index = netlist
+            .inputs()
+            .iter()
+            .map(|&n| (netlist.net(n).name.clone(), n))
+            .collect();
+        Ok(Simulator {
+            netlist,
+            topo,
+            state: vec![false; netlist.gate_count()],
+            input_index,
+        })
+    }
+
+    /// Encodes named multi-bit operands into a primary-input assignment.
+    ///
+    /// Bus bit `i` of operand `name` is looked up as net `name{i}` (e.g.
+    /// `a0`, `a1`, ...); a 1-bit operand may also be a plain net `name`.
+    /// Bits without a matching primary input are silently skipped, so
+    /// generators may drop unused high-order pins.
+    pub fn encode_operands(&self, operands: &[(&str, u32, u64)]) -> HashMap<NetId, bool> {
+        let mut assignment = HashMap::new();
+        for &(name, width, value) in operands {
+            if width == 1 {
+                if let Some(&net) = self.input_index.get(name) {
+                    assignment.insert(net, value & 1 == 1);
+                    continue;
+                }
+            }
+            for bit in 0..width {
+                let pin = format!("{name}{bit}");
+                if let Some(&net) = self.input_index.get(&pin) {
+                    assignment.insert(net, (value >> bit) & 1 == 1);
+                }
+            }
+        }
+        assignment
+    }
+
+    /// Decodes a multi-bit bus from evaluated net values by output-net name
+    /// (`name{i}`, or plain `name` for 1-bit).
+    pub fn decode_bus(&self, values: &HashMap<NetId, bool>, name: &str, width: u32) -> u64 {
+        let mut v = 0u64;
+        let by_name: HashMap<&str, NetId> = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&n| (self.netlist.net(n).name.as_str(), n))
+            .collect();
+        if width == 1 {
+            if let Some(&net) = by_name.get(name) {
+                return u64::from(values.get(&net).copied().unwrap_or(false));
+            }
+        }
+        for bit in 0..width {
+            let pin = format!("{name}{bit}");
+            if let Some(&net) = by_name.get(pin.as_str()) {
+                if values.get(&net).copied().unwrap_or(false) {
+                    v |= 1 << bit;
+                }
+            }
+        }
+        v
+    }
+
+    /// Evaluates the combinational logic for the given primary-input
+    /// assignment (current flip-flop state feeds Q nets). Returns the value
+    /// of every net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UndrivenNet`] if a primary input is missing
+    /// from the assignment.
+    pub fn eval(&self, inputs: &HashMap<NetId, bool>) -> Result<HashMap<NetId, bool>, NetlistError> {
+        let mut values: Vec<Option<bool>> = vec![None; self.netlist.net_count()];
+        for &pi in self.netlist.inputs() {
+            let v = inputs
+                .get(&pi)
+                .copied()
+                .ok_or_else(|| NetlistError::UndrivenNet(self.netlist.net(pi).name.clone()))?;
+            values[pi.index()] = Some(v);
+        }
+        // Flip-flop Q nets read the stored state.
+        for (id, gate) in self.netlist.iter_gates() {
+            if gate.cell.kind.is_sequential() {
+                values[gate.output.index()] = Some(self.state[id.index()]);
+            }
+        }
+        for &id in &self.topo {
+            let gate = self.netlist.gate(id);
+            let ins: Vec<bool> = gate
+                .inputs
+                .iter()
+                .map(|&n| values[n.index()].expect("topological order guarantees inputs are ready"))
+                .collect();
+            values[gate.output.index()] = Some(gate.cell.kind.eval(&ins));
+        }
+        Ok(values
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (NetId::from_index(i), v)))
+            .collect())
+    }
+
+    /// Evaluates combinational logic, then clocks every flip-flop once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::eval`].
+    pub fn step(&mut self, inputs: &HashMap<NetId, bool>) -> Result<HashMap<NetId, bool>, NetlistError> {
+        let values = self.eval(inputs)?;
+        for (id, gate) in self.netlist.iter_gates() {
+            if gate.cell.kind.is_sequential() {
+                self.state[id.index()] = values
+                    .get(&gate.inputs[0])
+                    .copied()
+                    .expect("eval produces every driven net");
+            }
+        }
+        Ok(values)
+    }
+
+    /// Resets all flip-flops to 0.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+    use fbb_device::{CellKind, DriveStrength};
+
+    #[test]
+    fn combinational_eval() {
+        let mut b = NetlistBuilder::new("mux");
+        let s = b.input("s");
+        let x = b.input("x");
+        let y = b.input("y");
+        let ns = b.gate(CellKind::Inv, DriveStrength::X1, &[s]).unwrap();
+        let ax = b.gate(CellKind::And2, DriveStrength::X1, &[x, ns]).unwrap();
+        let ay = b.gate(CellKind::And2, DriveStrength::X1, &[y, s]).unwrap();
+        let out = b.gate(CellKind::Or2, DriveStrength::X1, &[ax, ay]).unwrap();
+        b.output(out, "z");
+        let nl = b.finish().unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+
+        for (sv, xv, yv) in [(false, true, false), (true, false, true), (true, true, false)] {
+            let mut ins = HashMap::new();
+            ins.insert(s, sv);
+            ins.insert(x, xv);
+            ins.insert(y, yv);
+            let vals = sim.eval(&ins).unwrap();
+            let expect = if sv { yv } else { xv };
+            assert_eq!(vals[&out], expect);
+        }
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.gate(CellKind::Inv, DriveStrength::X1, &[a]).unwrap();
+        b.output(y, "y");
+        let nl = b.finish().unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        assert!(matches!(sim.eval(&HashMap::new()), Err(NetlistError::UndrivenNet(_))));
+    }
+
+    #[test]
+    fn toggle_flop_divides_by_two() {
+        // q' = !q every cycle.
+        let mut b = NetlistBuilder::new("t");
+        let (ff, q) = b.dff_floating(DriveStrength::X1);
+        let nq = b.gate(CellKind::Inv, DriveStrength::X1, &[q]).unwrap();
+        b.connect_dff_input(ff, nq).unwrap();
+        b.output(q, "q");
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let ins = HashMap::new();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let vals = sim.step(&ins).unwrap();
+            seen.push(vals[&q]);
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut b = NetlistBuilder::new("t");
+        let d = b.input("d");
+        let q = b.dff(DriveStrength::X1, d).unwrap();
+        b.output(q, "q");
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut ins = HashMap::new();
+        ins.insert(d, true);
+        sim.step(&ins).unwrap();
+        let vals = sim.eval(&ins).unwrap();
+        assert!(vals[&q]);
+        sim.reset();
+        let vals = sim.eval(&ins).unwrap();
+        assert!(!vals[&q]);
+    }
+}

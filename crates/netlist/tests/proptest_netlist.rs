@@ -1,0 +1,145 @@
+//! Property tests: generated circuits compute correct arithmetic, the text
+//! format round-trips arbitrary generated designs, and structural
+//! invariants hold for the random-logic generator.
+
+use fbb_netlist::generators::{
+    array_multiplier, carry_select_adder, ecc_corrector, hamming_encode, random_logic,
+    ripple_adder, RandomLogicOptions,
+};
+use fbb_netlist::{fmt, sim::Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ripple_adder_is_correct_for_all_inputs(
+        width in 1u32..16,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        cin in any::<bool>(),
+    ) {
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let (av, bv) = (a & mask, b & mask);
+        let nl = ripple_adder("a", width, false).expect("valid generator");
+        let sim = Simulator::new(&nl).expect("acyclic");
+        let ins = sim.encode_operands(&[("a", width, av), ("b", width, bv), ("cin", 1, u64::from(cin))]);
+        let out = sim.eval(&ins).expect("all inputs driven");
+        let sum = sim.decode_bus(&out, "sum", width);
+        let cout = sim.decode_bus(&out, "cout", 1);
+        prop_assert_eq!(sum | (cout << width), av + bv + u64::from(cin));
+    }
+
+    #[test]
+    fn carry_select_matches_reference_addition(
+        block in 1u32..9,
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let nl = carry_select_adder("csa", 32, block).expect("valid generator");
+        let sim = Simulator::new(&nl).expect("acyclic");
+        let ins = sim.encode_operands(&[("a", 32, a as u64), ("b", 32, b as u64), ("cin", 1, 0)]);
+        let out = sim.eval(&ins).expect("all inputs driven");
+        let sum = sim.decode_bus(&out, "sum", 32);
+        let cout = sim.decode_bus(&out, "cout", 1);
+        prop_assert_eq!(sum | (cout << 32), a as u64 + b as u64);
+    }
+
+    #[test]
+    fn multiplier_is_correct(
+        width in 2u32..8,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let mask = (1u64 << width) - 1;
+        let (av, bv) = (a & mask, b & mask);
+        let nl = array_multiplier("m", width).expect("valid generator");
+        let sim = Simulator::new(&nl).expect("acyclic");
+        let ins = sim.encode_operands(&[("a", width, av), ("b", width, bv)]);
+        let out = sim.eval(&ins).expect("all inputs driven");
+        prop_assert_eq!(sim.decode_bus(&out, "p", 2 * width), av * bv);
+    }
+
+    #[test]
+    fn ecc_corrects_any_single_flip(
+        data_bits in 4u32..33,
+        word in any::<u64>(),
+        flip in any::<u32>(),
+    ) {
+        let word = word & ((1u64 << data_bits) - 1).max(1);
+        let flip = flip % data_bits;
+        let nl = ecc_corrector("e", data_bits, false).expect("valid generator");
+        let sim = Simulator::new(&nl).expect("acyclic");
+        let parity = hamming_encode(data_bits, word);
+        let n_parity = fbb_netlist::generators::hamming_positions(data_bits).1.len() as u32;
+        let pov = (word.count_ones() + parity.count_ones()) % 2 == 1;
+        let ins = sim.encode_operands(&[
+            ("d", data_bits, word ^ (1 << flip)),
+            ("p", n_parity, parity),
+            ("pov", 1, u64::from(pov)),
+        ]);
+        let out = sim.eval(&ins).expect("all inputs driven");
+        prop_assert_eq!(sim.decode_bus(&out, "q", data_bits), word);
+        prop_assert_eq!(sim.decode_bus(&out, "err", 1), 1);
+        prop_assert_eq!(sim.decode_bus(&out, "ded", 1), 0, "single flips are not double errors");
+    }
+
+    #[test]
+    fn random_logic_hits_target_and_roundtrips(
+        seed in any::<u64>(),
+        target in 40usize..300,
+        inputs in 4usize..24,
+    ) {
+        let opts = RandomLogicOptions {
+            target_gates: target,
+            n_inputs: inputs,
+            seed,
+            registered: false,
+            locality_window: 0,
+        };
+        let nl = random_logic("r", &opts).expect("valid generator");
+        prop_assert_eq!(nl.gate_count(), target);
+        nl.validate().expect("structurally sound");
+        prop_assert_eq!(nl.dangling_output_fraction(), 0.0);
+
+        let text = fmt::to_string(&nl);
+        let back = fmt::from_str(&text).expect("round trip parses");
+        prop_assert_eq!(back.gate_count(), nl.gate_count());
+        prop_assert_eq!(back.net_count(), nl.net_count());
+        prop_assert_eq!(back.inputs().len(), nl.inputs().len());
+        prop_assert_eq!(back.outputs().len(), nl.outputs().len());
+
+        // Functional equivalence on one random vector.
+        let sim_a = Simulator::new(&nl).expect("acyclic");
+        let sim_b = Simulator::new(&back).expect("acyclic");
+        let ins_a: std::collections::HashMap<_, _> = nl
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, (seed >> (i % 64)) & 1 == 1))
+            .collect();
+        let names: std::collections::HashMap<&str, bool> = nl
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (nl.net(n).name.as_str(), (seed >> (i % 64)) & 1 == 1))
+            .collect();
+        let ins_b: std::collections::HashMap<_, _> = back
+            .inputs()
+            .iter()
+            .map(|&n| (n, names[back.net(n).name.as_str()]))
+            .collect();
+        let out_a = sim_a.eval(&ins_a).expect("all inputs driven");
+        let out_b = sim_b.eval(&ins_b).expect("all inputs driven");
+        for &po in nl.outputs() {
+            let name = nl.net(po).name.as_str();
+            let po_b = back
+                .outputs()
+                .iter()
+                .copied()
+                .find(|&n| back.net(n).name == name)
+                .expect("output preserved by name");
+            prop_assert_eq!(out_a[&po], out_b[&po_b], "output {} differs", name);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Placement errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while placing a netlist or analysing a layout.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// The requested die cannot fit the design.
+    Capacity {
+        /// Sites required by the netlist.
+        required: u64,
+        /// Sites available on the die.
+        available: u64,
+    },
+    /// Invalid placer options.
+    InvalidOptions(String),
+    /// A layout query referenced data inconsistent with the placement
+    /// (e.g. a bias assignment with the wrong number of rows).
+    Inconsistent(String),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::Capacity { required, available } => write!(
+                f,
+                "design needs {required} sites but the die only has {available}"
+            ),
+            PlacementError::InvalidOptions(msg) => write!(f, "invalid placer options: {msg}"),
+            PlacementError::Inconsistent(msg) => write!(f, "inconsistent layout query: {msg}"),
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PlacementError::Capacity { required: 100, available: 50 };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlacementError>();
+    }
+}

@@ -1,0 +1,263 @@
+//! Timing analysis results and path extraction.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use fbb_netlist::GateId;
+
+use crate::{TimingGraph, TimingPath};
+
+/// The result of one arrival/tail propagation over a [`TimingGraph`].
+#[derive(Debug, Clone)]
+pub struct TimingAnalysis<'g, 'nl> {
+    pub(crate) graph: &'g TimingGraph<'nl>,
+    pub(crate) delays: Vec<f64>,
+    /// Arrival time at each gate's output.
+    pub(crate) arrival: Vec<f64>,
+    /// Critical fanin gate realizing the arrival.
+    pub(crate) pred: Vec<Option<GateId>>,
+    /// Longest downstream delay including the gate's own delay.
+    pub(crate) tail: Vec<f64>,
+    /// Critical fanout gate realizing the tail.
+    pub(crate) succ: Vec<Option<GateId>>,
+    pub(crate) dcrit: f64,
+}
+
+impl TimingAnalysis<'_, '_> {
+    /// The critical (longest endpoint arrival) delay `Dcrit` in picoseconds.
+    pub fn dcrit_ps(&self) -> f64 {
+        self.dcrit
+    }
+
+    /// Arrival time at the output of `gate`.
+    pub fn arrival_ps(&self, gate: GateId) -> f64 {
+        self.arrival[gate.index()]
+    }
+
+    /// Delay of the longest path passing *through* `gate`.
+    pub fn longest_through_ps(&self, gate: GateId) -> f64 {
+        // arrival includes the gate delay; tail includes it too.
+        self.arrival[gate.index()] - self.delays[gate.index()] + self.tail[gate.index()]
+    }
+
+    /// Slack of the worst path through `gate` against `Dcrit`.
+    pub fn slack_through_ps(&self, gate: GateId) -> f64 {
+        self.dcrit - self.longest_through_ps(gate)
+    }
+
+    /// Materializes the longest path through `gate`.
+    pub fn longest_path_through(&self, gate: GateId) -> TimingPath {
+        let mut prefix = Vec::new();
+        let mut cursor = Some(gate);
+        while let Some(g) = cursor {
+            prefix.push(g);
+            cursor = self.pred[g.index()];
+        }
+        prefix.reverse();
+        let mut cursor = self.succ[gate.index()];
+        while let Some(g) = cursor {
+            prefix.push(g);
+            cursor = self.succ[g.index()];
+        }
+        TimingPath { gates: prefix, delay_ps: self.longest_through_ps(gate) }
+    }
+
+    /// The paper's pruned critical path set Π: the longest path through each
+    /// cell, deduplicated (many cells share their worst path).
+    ///
+    /// Sequential cells contribute through the launch paths of their Q pins,
+    /// which already include them as startpoints, so only combinational
+    /// cells seed extraction.
+    pub fn critical_path_set(&self) -> Vec<TimingPath> {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut paths = Vec::new();
+        for &id in &self.graph.topo {
+            let path = self.longest_path_through(id);
+            let mut hasher = DefaultHasher::new();
+            path.gates.hash(&mut hasher);
+            if seen.insert(hasher.finish()) {
+                paths.push(path);
+            }
+        }
+        paths
+    }
+
+    /// Like [`TimingAnalysis::critical_path_set`], but keeps only paths whose
+    /// delay degraded by the slowdown coefficient `beta` would violate
+    /// `Dcrit` — exactly the constraint set (`No.Constr`) of the paper:
+    /// `pd · (1 + β) > Dcrit`.
+    pub fn constrained_path_set(&self, beta: f64) -> Vec<TimingPath> {
+        self.critical_path_set()
+            .into_iter()
+            .filter(|p| p.delay_ps * (1.0 + beta) > self.dcrit + 1e-9)
+            .collect()
+    }
+
+    /// The delay assignment this analysis was computed for.
+    pub fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbb_device::{CellKind, DriveStrength};
+    use fbb_netlist::{generators, Netlist, NetlistBuilder};
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Brute-force longest path through each gate by DFS enumeration.
+    fn brute_force_through(nl: &Netlist, delays: &[f64]) -> Vec<f64> {
+        let graph = TimingGraph::new(nl).unwrap();
+        let n = nl.gate_count();
+        // Longest arrival ending at gate (inclusive).
+        let mut arr = vec![0.0f64; n];
+        for &id in &graph.topo {
+            let i = id.index();
+            let mut best = 0.0f64;
+            for &p in &graph.comb_fanin[i] {
+                best = best.max(arr[p.index()]);
+            }
+            for &ff in &graph.seq_fanin[i] {
+                best = best.max(delays[ff.index()]);
+            }
+            arr[i] = best + delays[i];
+        }
+        let mut tail = vec![0.0f64; n];
+        for &id in graph.topo.iter().rev() {
+            let i = id.index();
+            let mut best = 0.0f64;
+            for &s in &graph.comb_fanout[i] {
+                best = best.max(tail[s.index()]);
+            }
+            tail[i] = best + delays[i];
+        }
+        (0..n).map(|i| arr[i] - delays[i] + tail[i]).collect()
+    }
+
+    #[test]
+    fn diamond_takes_slower_branch() {
+        let mut b = NetlistBuilder::new("diamond");
+        let a = b.input("a");
+        let top = b.gate(CellKind::Inv, DriveStrength::X1, &[a]).unwrap();
+        let bot1 = b.gate(CellKind::Inv, DriveStrength::X1, &[a]).unwrap();
+        let bot2 = b.gate(CellKind::Inv, DriveStrength::X1, &[bot1]).unwrap();
+        let join = b.gate(CellKind::And2, DriveStrength::X1, &[top, bot2]).unwrap();
+        b.output(join, "y");
+        let nl = b.finish().unwrap();
+        let g = TimingGraph::new(&nl).unwrap();
+        let a = g.analyze(&[10.0, 10.0, 10.0, 10.0]);
+        assert!((a.dcrit_ps() - 30.0).abs() < 1e-9);
+        // The path through the top gate is 10 + 10 = 20: slack 10.
+        assert!((a.slack_through_ps(GateId::from_index(0)) - 10.0).abs() < 1e-9);
+        // Bottom branch is critical: slack 0.
+        assert!(a.slack_through_ps(GateId::from_index(1)).abs() < 1e-9);
+        let p = a.longest_path_through(GateId::from_index(1));
+        assert_eq!(p.gates.len(), 3);
+        assert!((p.delay_ps - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longest_through_matches_brute_force_on_random_logic() {
+        let nl = generators::random_logic(
+            "r",
+            &generators::RandomLogicOptions {
+                target_gates: 250,
+                n_inputs: 12,
+                seed: 99,
+                registered: true,
+                locality_window: 24,
+            },
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let delays: Vec<f64> = (0..nl.gate_count()).map(|_| rng.gen_range(5.0..30.0)).collect();
+        let g = TimingGraph::new(&nl).unwrap();
+        let a = g.analyze(&delays);
+        let brute = brute_force_through(&nl, &delays);
+        for (i, &expect) in brute.iter().enumerate() {
+            if nl.gates()[i].cell.kind.is_sequential() {
+                continue; // launch handling differs for flops themselves
+            }
+            let got = a.longest_through_ps(GateId::from_index(i));
+            assert!((got - expect).abs() < 1e-6, "gate {i}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn materialized_path_delay_is_consistent() {
+        let nl = generators::alu("alu8", 8).unwrap();
+        let delays: Vec<f64> = nl.gates().iter().map(|g| 5.0 + g.cell.kind.index() as f64).collect();
+        let g = TimingGraph::new(&nl).unwrap();
+        let a = g.analyze(&delays);
+        for path in a.critical_path_set() {
+            let sum: f64 = path.gates.iter().map(|&g| delays[g.index()]).sum();
+            assert!(
+                (sum - path.delay_ps).abs() < 1e-6,
+                "path delay {} != gate sum {sum}",
+                path.delay_ps
+            );
+        }
+    }
+
+    #[test]
+    fn path_set_is_deduplicated_and_covers_critical_path() {
+        let nl = generators::ripple_adder("a16", 16, false).unwrap();
+        let delays: Vec<f64> = vec![10.0; nl.gate_count()];
+        let g = TimingGraph::new(&nl).unwrap();
+        let a = g.analyze(&delays);
+        let paths = a.critical_path_set();
+        // Far fewer unique paths than gates.
+        assert!(paths.len() < nl.gate_count());
+        // The global critical path is in the set.
+        let max = paths.iter().map(|p| p.delay_ps).fold(0.0f64, f64::max);
+        assert!((max - a.dcrit_ps()).abs() < 1e-9);
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.gates.clone()), "duplicate path in Π");
+        }
+    }
+
+    #[test]
+    fn constrained_set_grows_with_beta() {
+        let nl = generators::alu("alu16", 16).unwrap();
+        let delays: Vec<f64> = nl.gates().iter().map(|g| 5.0 + g.cell.kind.index() as f64).collect();
+        let g = TimingGraph::new(&nl).unwrap();
+        let a = g.analyze(&delays);
+        let m5 = a.constrained_path_set(0.05).len();
+        let m10 = a.constrained_path_set(0.10).len();
+        assert!(m10 >= m5, "{m10} < {m5}");
+        assert!(m5 >= 1, "critical path itself always violates under slowdown");
+        // Every constrained path indeed violates when degraded.
+        for p in a.constrained_path_set(0.05) {
+            assert!(p.delay_ps * 1.05 > a.dcrit_ps());
+        }
+    }
+
+    #[test]
+    fn zero_beta_has_no_constraints() {
+        let nl = generators::ripple_adder("a8", 8, false).unwrap();
+        let delays: Vec<f64> = vec![10.0; nl.gate_count()];
+        let g = TimingGraph::new(&nl).unwrap();
+        let a = g.analyze(&delays);
+        assert!(a.constrained_path_set(0.0).is_empty());
+    }
+
+    #[test]
+    fn launch_path_includes_the_flop() {
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.input("a");
+        let q = b.dff(DriveStrength::X1, a).unwrap();
+        let w = b.gate(CellKind::Inv, DriveStrength::X1, &[q]).unwrap();
+        b.output(w, "y");
+        let nl = b.finish().unwrap();
+        let g = TimingGraph::new(&nl).unwrap();
+        let an = g.analyze(&[30.0, 10.0]);
+        let p = an.longest_path_through(GateId::from_index(1));
+        assert_eq!(p.gates, vec![GateId::from_index(0), GateId::from_index(1)]);
+        assert!((p.delay_ps - 40.0).abs() < 1e-9);
+    }
+}

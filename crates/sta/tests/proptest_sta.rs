@@ -1,0 +1,140 @@
+//! Property tests: STA against exhaustive path enumeration on small random
+//! DAGs, and structural invariants on larger ones.
+
+use fbb_netlist::generators::{random_logic, RandomLogicOptions};
+use fbb_netlist::{GateId, Netlist};
+use fbb_sta::TimingGraph;
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng as _};
+use rand_chacha::ChaCha8Rng;
+
+fn circuit(seed: u64, gates: usize) -> Netlist {
+    random_logic(
+        "p",
+        &RandomLogicOptions {
+            target_gates: gates,
+            n_inputs: 6,
+            seed,
+            registered: false,
+            locality_window: 10,
+        },
+    )
+    .expect("valid generator")
+}
+
+fn delays(nl: &Netlist, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..nl.gate_count()).map(|_| rng.gen_range(1.0..20.0)).collect()
+}
+
+/// Exhaustively enumerates every source-to-sink path delay through DFS and
+/// returns the worst delay through each gate. Only viable for small DAGs.
+fn exhaustive_worst_through(nl: &Netlist, d: &[f64]) -> Vec<f64> {
+    let n = nl.gate_count();
+    // Worst prefix ending at each gate (recursive with memo = same DP, so
+    // instead enumerate truly: DFS accumulating path delay from each source).
+    let mut worst_prefix = vec![f64::NEG_INFINITY; n];
+    let mut worst_suffix = vec![f64::NEG_INFINITY; n];
+
+    // All paths from sources: iterate gates in every topological completion
+    // via plain DFS enumeration.
+    fn dfs_forward(nl: &Netlist, d: &[f64], gate: usize, acc: f64, worst: &mut [f64]) {
+        let total = acc + d[gate];
+        if total > worst[gate] {
+            worst[gate] = total;
+        }
+        let out = nl.gates()[gate].output;
+        for &sink in &nl.net(out).sinks {
+            dfs_forward(nl, d, sink.index(), total, worst);
+        }
+    }
+    fn dfs_backward(nl: &Netlist, d: &[f64], gate: usize, acc: f64, worst: &mut [f64]) {
+        let total = acc + d[gate];
+        if total > worst[gate] {
+            worst[gate] = total;
+        }
+        for &input in &nl.gates()[gate].inputs {
+            if let Some(driver) = nl.net(input).driver {
+                dfs_backward(nl, d, driver.index(), total, worst);
+            }
+        }
+    }
+    for (id, gate) in nl.iter_gates() {
+        let sources_only_pis =
+            gate.inputs.iter().all(|&inp| nl.net(inp).driver.is_none());
+        if sources_only_pis {
+            dfs_forward(nl, d, id.index(), 0.0, &mut worst_prefix);
+        }
+        let is_sink = nl.net(gate.output).sinks.is_empty();
+        if is_sink {
+            dfs_backward(nl, d, id.index(), 0.0, &mut worst_suffix);
+        }
+    }
+    (0..n).map(|i| worst_prefix[i] + worst_suffix[i] - d[i]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn longest_through_matches_exhaustive_enumeration(seed in 0u64..5_000) {
+        // Small enough that full path enumeration terminates quickly
+        // (path counts grow exponentially with reconvergent depth).
+        let nl = circuit(seed, 22);
+        let d = delays(&nl, seed ^ 0xABCD);
+        let graph = TimingGraph::new(&nl).expect("acyclic");
+        let analysis = graph.analyze(&d);
+        let exhaustive = exhaustive_worst_through(&nl, &d);
+        for i in 0..nl.gate_count() {
+            let got = analysis.longest_through_ps(GateId::from_index(i));
+            prop_assert!((got - exhaustive[i]).abs() < 1e-6,
+                "gate {i}: sta {got} vs exhaustive {}", exhaustive[i]);
+        }
+    }
+
+    #[test]
+    fn dcrit_dominates_every_extracted_path(seed in 0u64..5_000) {
+        let nl = circuit(seed, 150);
+        let d = delays(&nl, seed ^ 0x1234);
+        let graph = TimingGraph::new(&nl).expect("acyclic");
+        let analysis = graph.analyze(&d);
+        for path in analysis.critical_path_set() {
+            prop_assert!(path.delay_ps <= analysis.dcrit_ps() + 1e-9);
+            // Path delay equals the sum of its gate delays.
+            let sum: f64 = path.gates.iter().map(|&g| d[g.index()]).sum();
+            prop_assert!((sum - path.delay_ps).abs() < 1e-6);
+            // Paths are connected chains: each gate drives the next.
+            for pair in path.gates.windows(2) {
+                let out = nl.gates()[pair[0].index()].output;
+                prop_assert!(nl.net(out).sinks.contains(&pair[1]),
+                    "path gates {} and {} are not connected", pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_delays_scales_dcrit_linearly(seed in 0u64..5_000, k in 1.1f64..3.0) {
+        let nl = circuit(seed, 120);
+        let d = delays(&nl, seed);
+        let scaled: Vec<f64> = d.iter().map(|&x| x * k).collect();
+        let graph = TimingGraph::new(&nl).expect("acyclic");
+        let a = graph.analyze(&d).dcrit_ps();
+        let b = graph.analyze(&scaled).dcrit_ps();
+        prop_assert!((b - a * k).abs() < 1e-6 * b.max(1.0));
+    }
+
+    #[test]
+    fn slack_is_nonnegative_and_zero_on_the_critical_path(seed in 0u64..5_000) {
+        let nl = circuit(seed, 120);
+        let d = delays(&nl, seed ^ 0x77);
+        let graph = TimingGraph::new(&nl).expect("acyclic");
+        let analysis = graph.analyze(&d);
+        let mut min_slack = f64::INFINITY;
+        for i in 0..nl.gate_count() {
+            let s = analysis.slack_through_ps(GateId::from_index(i));
+            prop_assert!(s > -1e-9, "negative slack {s} at gate {i}");
+            min_slack = min_slack.min(s);
+        }
+        prop_assert!(min_slack.abs() < 1e-9, "some gate must sit on the critical path");
+    }
+}

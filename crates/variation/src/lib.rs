@@ -1,0 +1,58 @@
+//! Variability sources and post-silicon sensing.
+//!
+//! The paper compensates design slowdown caused by **process variation**,
+//! **temperature**, and **NBTI aging** (§1, §3.1), sensing the slowdown on
+//! silicon and expressing it as a slowdown coefficient `β` that the FBB
+//! allocator then compensates. The authors had fabricated dies and on-chip
+//! monitors; we simulate that silicon:
+//!
+//! * [`ProcessVariation`] — die-to-die plus spatially correlated within-die
+//!   threshold/channel variation, sampled into per-gate delay multipliers;
+//! * [`temperature_derating`] — linear delay derating with die temperature;
+//! * [`NbtiAging`] — the classic fractional-power (`t^n`) Vth drift model;
+//! * [`CriticalPathSensor`] — a critical-path-replica monitor that measures
+//!   an effective `β` with finite resolution and a guard band (the paper's
+//!   §3.1 calibration step);
+//! * [`MonteCarloYield`] — timing-yield estimation across sampled dies.
+//!
+//! # Example
+//!
+//! ```
+//! use fbb_netlist::generators;
+//! use fbb_sta::TimingGraph;
+//! use fbb_variation::{CriticalPathSensor, ProcessVariation};
+//!
+//! # fn main() -> Result<(), fbb_netlist::NetlistError> {
+//! let nl = generators::ripple_adder("a8", 8, false).expect("valid generator");
+//! let graph = TimingGraph::new(&nl)?;
+//! let nominal: Vec<f64> = vec![10.0; nl.gate_count()];
+//!
+//! let pv = ProcessVariation::slow_corner_45nm();
+//! let positions: Vec<(f64, f64)> = (0..nl.gate_count()).map(|i| (i as f64, 0.0)).collect();
+//! let die = pv.sample(7, &positions, (nl.gate_count() as f64, 1.0));
+//! let degraded = die.apply(&nominal);
+//!
+//! let sensor = CriticalPathSensor::default();
+//! let beta = sensor.measure_beta(
+//!     graph.analyze(&nominal).dcrit_ps(),
+//!     graph.analyze(&degraded).dcrit_ps(),
+//! );
+//! assert!(beta >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aging;
+mod montecarlo;
+mod process;
+mod sensor;
+mod temperature;
+
+pub use aging::NbtiAging;
+pub use montecarlo::{MonteCarloYield, YieldEstimate};
+pub use process::{DieSample, ProcessVariation};
+pub use sensor::CriticalPathSensor;
+pub use temperature::temperature_derating;

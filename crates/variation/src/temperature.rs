@@ -1,0 +1,46 @@
+//! Temperature-induced delay derating.
+
+/// Delay multiplier at die temperature `temp_c` (°C), relative to 25 °C.
+///
+/// Uses the linear derating typical of 45 nm standard-cell libraries,
+/// ~0.12 %/°C — a 100 °C hot spot slows logic by ~9 %, the magnitude the
+/// paper's temperature-compensation citation (Kumar et al., ASPDAC'06)
+/// targets with ABB.
+///
+/// ```
+/// use fbb_variation::temperature_derating;
+///
+/// assert_eq!(temperature_derating(25.0), 1.0);
+/// assert!(temperature_derating(105.0) > 1.08);
+/// assert!(temperature_derating(-20.0) < 1.0);
+/// ```
+pub fn temperature_derating(temp_c: f64) -> f64 {
+    const SLOPE_PER_C: f64 = 0.0012;
+    1.0 + SLOPE_PER_C * (temp_c - 25.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_is_identity() {
+        assert!((temperature_derating(25.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_temperature() {
+        let mut prev = temperature_derating(-40.0);
+        for t in (-30..=125).step_by(5) {
+            let m = temperature_derating(f64::from(t));
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn hot_die_magnitude_matches_literature() {
+        let m = temperature_derating(110.0);
+        assert!((1.08..=1.14).contains(&m), "{m}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Lifetime NBTI compensation (paper §1/§3.1): as the device ages, the
+//! periodic calibration loop re-runs the clustered allocation with the
+//! growing slowdown, trading a controlled leakage increase for a rescued
+//! clock over the product's life.
+//!
+//! ```text
+//! cargo run --release --example aging_compensation
+//! ```
+
+use fbb::core::{single_bb, FbbProblem, TwoPassHeuristic};
+use fbb::device::{BiasLadder, BodyBiasModel, Library};
+use fbb::netlist::generators;
+use fbb::placement::{Placer, PlacerOptions};
+use fbb::variation::NbtiAging;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = generators::carry_select_adder("csa64", 64, 8)?;
+    let library = Library::date09_45nm();
+    let characterization =
+        library.characterize(&BodyBiasModel::date09_45nm(), &BiasLadder::date09()?);
+    let placement =
+        Placer::new(PlacerOptions::with_target_rows(14)).place(&netlist, &library)?;
+
+    let nbti = NbtiAging::typical_45nm();
+    println!("design: {}", netlist.stats());
+    println!("NBTI model: dVth = {} mV * t^{}\n", nbti.a_mv_per_yearn, nbti.n);
+    println!("years  dVth[mV]  beta%   clusters  leak[nW]  vs single-BB  timing");
+
+    for years in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0] {
+        let beta = nbti.beta(years);
+        let problem = FbbProblem::new(&netlist, &placement, &characterization, beta, 3)?;
+        let pre = problem.preprocess()?;
+        if beta == 0.0 {
+            println!("{years:>5.1}  {:>8.1}  {:>5.2}  fresh device, no bias needed", 0.0, 0.0);
+            continue;
+        }
+        let baseline = single_bb(&pre)?;
+        let sol = TwoPassHeuristic::default().solve(&pre)?;
+        println!(
+            "{years:>5.1}  {:>8.1}  {:>5.2}  {:>8}  {:>8.1}  {:>11.1}%  {}",
+            nbti.vth_shift_mv(years),
+            beta * 100.0,
+            sol.clusters,
+            sol.leakage_nw,
+            sol.savings_vs(&baseline),
+            if sol.meets_timing { "met" } else { "VIOLATED" }
+        );
+    }
+
+    println!("\nthe tuning controller re-runs this allocation at each calibration");
+    println!("interval; leakage rises with age but stays far below block-level FBB");
+    Ok(())
+}

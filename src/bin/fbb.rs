@@ -1,0 +1,246 @@
+//! `fbb` — command-line front end for the clustered-FBB flow.
+//!
+//! ```text
+//! fbb generate --design c1355 --out c1355.bench        # emit a suite circuit
+//! fbb sta --netlist c1355.bench                        # timing report
+//! fbb solve --netlist c1355.bench --rows 13 --beta 0.05 --clusters 3 --ilp --layout
+//! ```
+//!
+//! Netlist files ending in `.bench` use the ISCAS format; anything else uses
+//! the native text format (`fbb::netlist::fmt`).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fbb::core::{single_bb, FbbProblem, IlpAllocator, TwoPassHeuristic};
+use fbb::device::{BiasLadder, BodyBiasModel, Library};
+use fbb::netlist::{bench_fmt, fmt as nl_fmt, suite, GateId, Netlist};
+use fbb::placement::layout::{self, LayoutOptions};
+use fbb::placement::{Placer, PlacerOptions};
+use fbb::sta::TimingGraph;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn load_netlist(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".bench") {
+        bench_fmt::from_bench_str(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        nl_fmt::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn save_netlist(nl: &Netlist, path: &str) -> Result<(), String> {
+    let text = if path.ends_with(".bench") {
+        bench_fmt::to_bench_string(nl)
+    } else {
+        nl_fmt::to_string(nl)
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     fbb generate --design <table1-name|adder:W|multiplier:W|alu:W> [--out FILE]\n  \
+     fbb sta --netlist FILE [--beta 0.05]\n  \
+     fbb solve --netlist FILE [--rows N] [--beta 0.05] [--clusters 3]\n            \
+     [--ilp] [--ilp-time-limit SECS] [--layout] [--cleanup PCT]\n\n\
+     *.bench files use the ISCAS format; others use the native format."
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => generate(&args),
+        Some("sta") => sta(&args),
+        Some("solve") => solve(&args),
+        _ => Err(usage().to_owned()),
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let design = arg_value(args, "--design").ok_or("missing --design")?;
+    let nl = if let Some(nl) = suite::generate(&design) {
+        nl
+    } else if let Some((kind, w)) = design.split_once(':') {
+        let w: u32 = w.parse().map_err(|_| format!("bad width in {design}"))?;
+        match kind {
+            "adder" => fbb::netlist::generators::ripple_adder(&design, w, false),
+            "multiplier" => fbb::netlist::generators::array_multiplier(&design, w),
+            "alu" => fbb::netlist::generators::alu(&design, w),
+            other => return Err(format!("unknown generator {other}")),
+        }
+        .map_err(|e| e.to_string())?
+    } else {
+        return Err(format!(
+            "unknown design {design}; use a Table 1 name or adder:W / multiplier:W / alu:W"
+        ));
+    };
+    eprintln!("{}", nl.stats());
+    match arg_value(args, "--out") {
+        Some(path) => save_netlist(&nl, &path)?,
+        None => print!("{}", nl_fmt::to_string(&nl)),
+    }
+    Ok(())
+}
+
+fn sta(args: &[String]) -> Result<(), String> {
+    let path = arg_value(args, "--netlist").ok_or("missing --netlist")?;
+    let beta: f64 = arg_value(args, "--beta").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+    let nl = load_netlist(&path)?;
+    let library = Library::date09_45nm();
+    let chara = library.characterize(
+        &BodyBiasModel::date09_45nm(),
+        &BiasLadder::date09().map_err(|e| e.to_string())?,
+    );
+    let delays: Vec<f64> = nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0)).collect();
+    let graph = TimingGraph::new(&nl).map_err(|e| e.to_string())?;
+    let analysis = graph.analyze(&delays);
+    println!("{}", nl.stats());
+    println!("Dcrit = {:.1} ps", analysis.dcrit_ps());
+    let mut paths = analysis.critical_path_set();
+    paths.sort_by(|a, b| b.delay_ps.partial_cmp(&a.delay_ps).expect("finite"));
+    println!("unique worst paths: {}", paths.len());
+    if beta > 0.0 {
+        let violating = paths
+            .iter()
+            .filter(|p| p.delay_ps * (1.0 + beta) > analysis.dcrit_ps())
+            .count();
+        println!(
+            "at beta = {:.1}%: {violating} paths violate (the allocator's constraint count)",
+            beta * 100.0
+        );
+    }
+    println!("\ntop paths:");
+    for p in paths.iter().take(5) {
+        println!(
+            "  {:>8.1} ps  {:>3} gates  slack {:>7.1} ps",
+            p.delay_ps,
+            p.len(),
+            analysis.dcrit_ps() - p.delay_ps
+        );
+    }
+    Ok(())
+}
+
+fn solve(args: &[String]) -> Result<(), String> {
+    let path = arg_value(args, "--netlist").ok_or("missing --netlist")?;
+    let beta: f64 = arg_value(args, "--beta").and_then(|v| v.parse().ok()).unwrap_or(0.05);
+    let clusters: usize =
+        arg_value(args, "--clusters").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let nl = load_netlist(&path)?;
+
+    let library = Library::date09_45nm();
+    let ladder = BiasLadder::date09().map_err(|e| e.to_string())?;
+    let chara = library.characterize(&BodyBiasModel::date09_45nm(), &ladder);
+    let mut options = PlacerOptions::default();
+    if let Some(rows) = arg_value(args, "--rows").and_then(|v| v.parse().ok()) {
+        options.target_rows = Some(rows);
+    }
+    let placement = Placer::new(options).place(&nl, &library).map_err(|e| e.to_string())?;
+    eprintln!("{}", nl.stats());
+    eprintln!("{}", placement.stats());
+
+    let pre = FbbProblem::new(&nl, &placement, &chara, beta, clusters)
+        .map_err(|e| e.to_string())?
+        .preprocess()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "Dcrit = {:.1} ps, beta = {:.1}%, {} constraints, C <= {clusters}",
+        pre.dcrit_ps,
+        beta * 100.0,
+        pre.constraint_count()
+    );
+
+    let baseline = single_bb(&pre).map_err(|e| e.to_string())?;
+    println!(
+        "\nsingle BB : level {:>2} everywhere            leakage {:>9.1} nW",
+        baseline.assignment[0], baseline.leakage_nw
+    );
+
+    let mut sol = TwoPassHeuristic::default().solve(&pre).map_err(|e| e.to_string())?;
+    if let Some(pct) = arg_value(args, "--cleanup").and_then(|v| v.parse::<f64>().ok()) {
+        let raised = sol.reduce_well_separations(&pre, pct);
+        eprintln!("cleanup raised {raised} rows (budget {pct}%)");
+    }
+    println!(
+        "heuristic : {} clusters, {} well seps    leakage {:>9.1} nW  ({:.2}% saved)",
+        sol.clusters,
+        sol.well_separation_count(),
+        sol.leakage_nw,
+        sol.savings_vs(&baseline)
+    );
+
+    if arg_flag(args, "--ilp") {
+        let limit = arg_value(args, "--ilp-time-limit")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(120.0);
+        let out = IlpAllocator::with_time_limit(Duration::from_secs_f64(limit))
+            .solve(&pre)
+            .map_err(|e| e.to_string())?;
+        match out.solution {
+            Some(exact) => println!(
+                "ilp{}      : {} clusters, {} well seps    leakage {:>9.1} nW  ({:.2}% saved, {} nodes)",
+                if out.proven_optimal { "*" } else { " " },
+                exact.clusters,
+                exact.well_separation_count(),
+                exact.leakage_nw,
+                exact.savings_vs(&baseline),
+                out.nodes
+            ),
+            None => println!("ilp       : no solution within the time limit"),
+        }
+    }
+
+    print!("\nrow biases: ");
+    for (row, &level) in sol.assignment.iter().enumerate() {
+        if row % 8 == 0 {
+            print!("\n  ");
+        }
+        print!("r{row:<3}={:<6} ", ladder.level(level).to_string());
+    }
+    println!();
+
+    if arg_flag(args, "--layout") {
+        let art = layout::render_ascii(&placement, &ladder, &sol.assignment, &LayoutOptions::default())
+            .map_err(|e| e.to_string())?;
+        println!("\n{art}");
+    }
+
+    // Independent verification: apply the biases and re-run STA.
+    let graph = TimingGraph::new(&nl).map_err(|e| e.to_string())?;
+    let tuned: Vec<f64> = nl
+        .gates()
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let row = placement.row_of(GateId::from_index(i)).index();
+            chara.delay_ps(g.cell, 0) * (1.0 + beta)
+                * (1.0 - chara.speedup_fraction(sol.assignment[row]))
+        })
+        .collect();
+    let tuned_dcrit = graph.analyze(&tuned).dcrit_ps();
+    println!(
+        "verification: biased degraded Dcrit = {:.1} ps vs target {:.1} ps ({})",
+        tuned_dcrit,
+        pre.dcrit_ps,
+        if tuned_dcrit <= pre.dcrit_ps * 1.002 { "met" } else { "VIOLATED" }
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Facade crate re-exporting the clustered-FBB workspace.
+//!
+//! See the workspace README for the full architecture. The sub-crates:
+//!
+//! * [`device`] — body-bias physics and cell library characterization
+//! * [`netlist`] — netlist data structures and benchmark generators
+//! * [`placement`] — row-based placement and FBB layout modelling
+//! * [`sta`] — static timing analysis and path extraction
+//! * [`lp`] — LP/MILP solver
+//! * [`variation`] — process variation, temperature, and aging models
+//! * [`core`] — the paper's clustered-FBB allocation algorithms
+
+#![forbid(unsafe_code)]
+
+pub use fbb_core as core;
+pub use fbb_device as device;
+pub use fbb_lp as lp;
+pub use fbb_netlist as netlist;
+pub use fbb_placement as placement;
+pub use fbb_sta as sta;
+pub use fbb_variation as variation;
