@@ -1,10 +1,15 @@
 //! The paper's runtime claim (§5): the two-pass heuristic is linear-time and
 //! orders of magnitude faster than the exact ILP. One benchmark pair per
-//! Table 1 size class that Criterion can finish quickly.
+//! Table 1 size class that Criterion can finish quickly, plus the
+//! serial-vs-parallel speedups of the worker-pool integration (PassTwo
+//! candidate ranking, ILP constraint generation), merged into
+//! `BENCH_sta.json` (see EXPERIMENTS.md).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbb_bench::report::{measure, workspace_file, BenchReport};
 use fbb_bench::prepare_design;
 use fbb_core::{IlpAllocator, TwoPassHeuristic};
+use fbb_sta::par;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -40,5 +45,55 @@ fn bench_allocators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_allocators);
+/// Serial-vs-parallel speedups of the worker-pool hot loops: the heuristic's
+/// PassOne level scan + PassTwo budget sweep, and the ILP's per-path
+/// constraint generation.
+fn bench_parallel_speedups(_c: &mut Criterion) {
+    let design = prepare_design("c5315");
+    let pre = design.preprocess(0.05, 4);
+
+    std::env::set_var("FBB_THREADS", "1");
+    let heur_serial = measure(9, 25, || {
+        black_box(TwoPassHeuristic::default().solve(&pre).expect("feasible"));
+    });
+    let ilp_serial = measure(9, 25, || {
+        black_box(IlpAllocator::default().build_model(&pre).expect("well-formed"));
+    });
+    std::env::remove_var("FBB_THREADS");
+    let heur_parallel = measure(9, 25, || {
+        black_box(TwoPassHeuristic::default().solve(&pre).expect("feasible"));
+    });
+    let ilp_parallel = measure(9, 25, || {
+        black_box(IlpAllocator::default().build_model(&pre).expect("well-formed"));
+    });
+
+    let heur_speedup = heur_parallel.speedup_over(&heur_serial);
+    let ilp_speedup = ilp_parallel.speedup_over(&ilp_serial);
+    println!(
+        "c5315, beta=0.05, C=4, {} worker threads ({} paths):",
+        par::threads(),
+        pre.paths.len()
+    );
+    println!(
+        "  heuristic solve     serial {:>10.0} ns  parallel {:>10.0} ns  ({heur_speedup:.2}x)",
+        heur_serial.median_ns, heur_parallel.median_ns
+    );
+    println!(
+        "  ilp constraint gen  serial {:>10.0} ns  parallel {:>10.0} ns  ({ilp_speedup:.2}x)",
+        ilp_serial.median_ns, ilp_parallel.median_ns
+    );
+
+    let path = workspace_file("BENCH_sta.json");
+    let mut report = BenchReport::load(&path);
+    report.set("heuristic_serial_ns", heur_serial.median_ns);
+    report.set("heuristic_parallel_ns", heur_parallel.median_ns);
+    report.set("heuristic_parallel_speedup", heur_speedup);
+    report.set("ilp_build_serial_ns", ilp_serial.median_ns);
+    report.set("ilp_build_parallel_ns", ilp_parallel.median_ns);
+    report.set("ilp_build_parallel_speedup", ilp_speedup);
+    report.save(&path).expect("snapshot writable");
+    println!("snapshot merged into {}", path.display());
+}
+
+criterion_group!(benches, bench_allocators, bench_parallel_speedups);
 criterion_main!(benches);

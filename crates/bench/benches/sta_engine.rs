@@ -1,10 +1,16 @@
-//! STA benchmarks: graph build, arrival/tail analysis, and critical-path-set
-//! extraction on c6288-class logic (the paper's hardest timing instance).
+//! STA engine benchmarks: graph build, full analysis, path extraction, and
+//! the headline speedups of the incremental/parallel engine —
+//! full-vs-incremental re-timing on a single-row bias change and
+//! serial-vs-parallel Monte Carlo sampling. The speedup numbers are merged
+//! into `BENCH_sta.json` at the workspace root (see EXPERIMENTS.md).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fbb_bench::report::{measure, workspace_file, BenchReport};
+use fbb_bench::prepare_design;
 use fbb_device::{BiasLadder, BodyBiasModel, Library};
-use fbb_netlist::generators;
-use fbb_sta::TimingGraph;
+use fbb_netlist::{generators, GateId};
+use fbb_sta::{par, IncrementalSta, RowMap, TimingGraph};
+use fbb_variation::{MonteCarloYield, ProcessVariation};
 use std::hint::black_box;
 
 fn bench_sta(c: &mut Criterion) {
@@ -31,5 +37,102 @@ fn bench_sta(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sta);
+/// Full-vs-incremental re-timing on a single-row bias change, and
+/// serial-vs-parallel Monte Carlo, on a placed Table 1 design.
+fn bench_speedups(_c: &mut Criterion) {
+    let design = prepare_design("c3540");
+    let nl = &design.netlist;
+    let chara = &design.characterization;
+    let graph = TimingGraph::new(nl).expect("acyclic");
+    let nominal: Vec<f64> = nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0)).collect();
+    let biased: Vec<f64> = nl.gates().iter().map(|g| chara.delay_ps(g.cell, 3)).collect();
+
+    let row_of: Vec<usize> = (0..nl.gate_count())
+        .map(|i| design.placement.row_of(GateId::from_index(i)).index())
+        .collect();
+    // Flip the bias of the row holding the middle gate — an arbitrary but
+    // fixed single-row change, as a bias-allocation move would make.
+    let flip_row = row_of[nl.gate_count() / 2];
+    let flip_gates: Vec<usize> =
+        (0..nl.gate_count()).filter(|&i| row_of[i] == flip_row).collect();
+
+    // Baseline: full re-analysis after each flip.
+    let mut full_delays = nominal.clone();
+    let mut level = 0usize;
+    let full = measure(15, 20, || {
+        level ^= 1;
+        for &i in &flip_gates {
+            full_delays[i] = if level == 1 { biased[i] } else { nominal[i] };
+        }
+        black_box(graph.analyze(&full_delays).dcrit_ps());
+    });
+
+    // Incremental: invalidate the row, retime only its cone.
+    let mut inc = IncrementalSta::with_rows(&graph, &nominal, RowMap::new(&row_of));
+    let mut level = 0usize;
+    let incremental = measure(15, 20, || {
+        level ^= 1;
+        for &i in &flip_gates {
+            let d = if level == 1 { biased[i] } else { nominal[i] };
+            inc.delays_mut()[i] = d;
+        }
+        inc.invalidate_rows(&[flip_row]);
+        black_box(inc.retime());
+    });
+    // One more flip to report the cone size.
+    for &i in &flip_gates {
+        inc.delays_mut()[i] = biased[i];
+    }
+    inc.invalidate_rows(&[flip_row]);
+    inc.retime();
+    let retimed = inc.last_retimed_nodes();
+
+    let inc_speedup = incremental.speedup_over(&full);
+    println!(
+        "single-row bias flip on c3540 ({} gates, row {} = {} gates):",
+        nl.gate_count(),
+        flip_row,
+        flip_gates.len()
+    );
+    println!("  full analyze        {:>10.0} ns/flip", full.median_ns);
+    println!(
+        "  incremental retime  {:>10.0} ns/flip  ({} nodes retimed)",
+        incremental.median_ns, retimed
+    );
+    println!("  incremental speedup {inc_speedup:>10.2}x  (acceptance floor: 2x)");
+
+    // Serial vs parallel Monte Carlo yield estimation.
+    let mc = MonteCarloYield::new(nl, &design.placement, &nominal);
+    let pv = ProcessVariation::slow_corner_45nm();
+    let clock = graph.analyze(&nominal).dcrit_ps() * 1.05;
+    std::env::set_var("FBB_THREADS", "1");
+    let mc_serial = measure(5, 2, || {
+        black_box(mc.estimate(&pv, clock, 64, 42).expect("acyclic"));
+    });
+    std::env::remove_var("FBB_THREADS");
+    let mc_parallel = measure(5, 2, || {
+        black_box(mc.estimate(&pv, clock, 64, 42).expect("acyclic"));
+    });
+    let mc_speedup = mc_parallel.speedup_over(&mc_serial);
+    println!("monte carlo, 64 dies, {} worker threads:", par::threads());
+    println!("  serial              {:>10.0} ns/run", mc_serial.median_ns);
+    println!("  parallel            {:>10.0} ns/run", mc_parallel.median_ns);
+    println!("  parallel speedup    {mc_speedup:>10.2}x");
+
+    let path = workspace_file("BENCH_sta.json");
+    let mut report = BenchReport::load(&path);
+    report.set("sta_gate_count", nl.gate_count() as f64);
+    report.set("sta_full_analyze_ns", full.median_ns);
+    report.set("sta_incremental_retime_ns", incremental.median_ns);
+    report.set("sta_incremental_speedup", inc_speedup);
+    report.set("sta_incremental_retimed_nodes", retimed as f64);
+    report.set("mc_serial_ns", mc_serial.median_ns);
+    report.set("mc_parallel_ns", mc_parallel.median_ns);
+    report.set("mc_parallel_speedup", mc_speedup);
+    report.set("threads", par::threads() as f64);
+    report.save(&path).expect("snapshot writable");
+    println!("snapshot merged into {}", path.display());
+}
+
+criterion_group!(benches, bench_sta, bench_speedups);
 criterion_main!(benches);

@@ -1,6 +1,8 @@
 //! Shared experiment harness: design loading, allocation runs, and table
 //! formatting for the binaries that regenerate the paper's tables/figures.
 
+pub mod report;
+
 use std::time::Duration;
 
 use fbb_core::{single_bb, ClusterSolution, FbbError, FbbProblem, IlpAllocator, IlpOutcome, Preprocessed, TwoPassHeuristic};

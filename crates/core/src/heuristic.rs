@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use fbb_sta::par;
 use serde::{Deserialize, Serialize};
 
 use crate::{check_timing, CheckState, ClusterSolution, FbbError, Preprocessed};
@@ -9,13 +10,24 @@ use crate::{check_timing, CheckState, ClusterSolution, FbbError, Preprocessed};
 /// `PassOne`: find the lowest uniform bias level `jopt` at which every
 /// constraint holds with *all* rows biased to it.
 ///
+/// With more than one worker available, all ladder levels are checked
+/// speculatively in parallel (the ladder is short, each check is a full
+/// constraint sweep, and feasibility is monotone in the level, so wall-clock
+/// collapses to one check). On a single worker the scan stays lazy and
+/// stops at the first feasible level, exactly as the paper's pseudocode.
+///
 /// Returns `None` when even the top of the ladder cannot compensate β —
 /// the paper's `FALSE` outcome.
 pub fn pass_one(pre: &Preprocessed) -> Option<usize> {
-    (0..pre.levels).find(|&j| {
+    let check = |j: usize| {
         let assignment = vec![j; pre.n_rows];
         check_timing(pre, &assignment).is_ok()
-    })
+    };
+    if par::worker_count(pre.levels) <= 1 {
+        return (0..pre.levels).find(|&j| check(j));
+    }
+    let feasible = par::parallel_gen(pre.levels, check);
+    feasible.iter().position(|&ok| ok)
 }
 
 /// `PassOne` restricted to a subset of ladder levels (ascending order not
@@ -24,10 +36,15 @@ pub fn pass_one(pre: &Preprocessed) -> Option<usize> {
 pub fn pass_one_restricted(pre: &Preprocessed, allowed: &[usize]) -> Option<usize> {
     let mut levels: Vec<usize> = allowed.iter().copied().filter(|&l| l < pre.levels).collect();
     levels.sort_unstable();
-    levels.into_iter().find(|&j| {
+    let check = |j: usize| {
         let assignment = vec![j; pre.n_rows];
         check_timing(pre, &assignment).is_ok()
-    })
+    };
+    if par::worker_count(levels.len()) <= 1 {
+        return levels.into_iter().find(|&j| check(j));
+    }
+    let feasible = par::parallel_map(&levels, |_, &j| check(j));
+    levels.iter().zip(&feasible).find(|&(_, &ok)| ok).map(|(&j, _)| j)
 }
 
 /// How `PassTwo` moves rows below `jopt`.
@@ -82,7 +99,32 @@ impl TwoPassHeuristic {
         Self::with_policy(DescentPolicy::Literal)
     }
 
-    /// Runs both passes.
+    /// Runs both passes. `PassOne`'s level scan and `PassTwo`'s per-budget
+    /// candidate ranking run on the [`fbb_sta::par`] worker pool when more
+    /// than one thread is available; the result is identical either way.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fbb_core::{FbbProblem, TwoPassHeuristic};
+    /// use fbb_device::{BiasLadder, BodyBiasModel, Library};
+    /// use fbb_netlist::generators;
+    /// use fbb_placement::{Placer, PlacerOptions};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let netlist = generators::ripple_adder("add16", 16, false)?;
+    /// let library = Library::date09_45nm();
+    /// let placement =
+    ///     Placer::new(PlacerOptions::with_target_rows(6)).place(&netlist, &library)?;
+    /// let chara = library.characterize(&BodyBiasModel::date09_45nm(), &BiasLadder::date09()?);
+    /// let pre = FbbProblem::new(&netlist, &placement, &chara, 0.05, 2)?.preprocess()?;
+    ///
+    /// let solution = TwoPassHeuristic::default().solve(&pre)?;
+    /// assert!(solution.meets_timing);
+    /// assert!(solution.clusters <= 2);
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -117,12 +159,13 @@ impl TwoPassHeuristic {
         let start = Instant::now();
         let jopt = pass_one_restricted(pre, allowed)
             .ok_or(FbbError::Uncompensable { beta: pre.beta })?;
-        let assignment = (1..=pre.max_clusters)
-            .map(|c| max_drop_restricted(pre, jopt, c, Some(allowed)))
-            .min_by(|a, b| {
-                pre.leakage_nw(a).partial_cmp(&pre.leakage_nw(b)).expect("leakage is finite")
-            })
-            .expect("at least one budget");
+        let assignment =
+            par::parallel_gen(pre.max_clusters, |k| max_drop_restricted(pre, jopt, k + 1, Some(allowed)))
+                .into_iter()
+                .min_by(|a, b| {
+                    pre.leakage_nw(a).partial_cmp(&pre.leakage_nw(b)).expect("leakage is finite")
+                })
+                .expect("at least one budget");
         Ok(ClusterSolution::from_assignment(
             pre,
             assignment,
@@ -144,8 +187,11 @@ impl TwoPassHeuristic {
                 // skipped, so the result is not monotone in C by
                 // construction; running every budget up to C and keeping the
                 // best restores monotonicity at O(C) extra linear passes.
-                (1..=pre.max_clusters)
-                    .map(|c| max_drop(pre, jopt, c))
+                // Each budget's descent is independent, so the candidates are
+                // ranked concurrently; the min-fold stays in budget order, so
+                // the winner matches the serial sweep exactly.
+                par::parallel_gen(pre.max_clusters, |k| max_drop(pre, jopt, k + 1))
+                    .into_iter()
                     .min_by(|a, b| {
                         pre.leakage_nw(a)
                             .partial_cmp(&pre.leakage_nw(b))

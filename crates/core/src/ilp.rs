@@ -81,8 +81,11 @@ impl IlpAllocator {
             model.add_constraint(terms, Sense::Eq, 1.0)?;
         }
 
-        // Eq. 2: path speed-up requirements.
-        for path in &pre.paths {
+        // Eq. 2: path speed-up requirements. Building a path's term vector
+        // walks its whole row/level footprint, and paths are independent, so
+        // the vectors are generated concurrently; constraints are then added
+        // in path order to keep the model layout deterministic.
+        let path_terms = fbb_sta::par::parallel_map(&pre.paths, |_, path| {
             let mut terms = Vec::new();
             for (row, reds) in &path.rows {
                 for (j, &a) in reds.iter().enumerate() {
@@ -91,6 +94,9 @@ impl IlpAllocator {
                     }
                 }
             }
+            terms
+        });
+        for (path, terms) in pre.paths.iter().zip(path_terms) {
             model.add_constraint(terms, Sense::Ge, path.required_reduction_ps)?;
         }
 
@@ -106,7 +112,33 @@ impl IlpAllocator {
         Ok(model)
     }
 
-    /// Solves the ILP.
+    /// Solves the ILP: builds the model (constraint generation runs on the
+    /// [`fbb_sta::par`] worker pool), warm-starts from the heuristic unless
+    /// [`IlpAllocator::cold_start`] is set, and runs branch & bound.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fbb_core::{FbbProblem, IlpAllocator};
+    /// use fbb_device::{BiasLadder, BodyBiasModel, Library};
+    /// use fbb_netlist::generators;
+    /// use fbb_placement::{Placer, PlacerOptions};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let netlist = generators::ripple_adder("add16", 16, false)?;
+    /// let library = Library::date09_45nm();
+    /// let placement =
+    ///     Placer::new(PlacerOptions::with_target_rows(6)).place(&netlist, &library)?;
+    /// let chara = library.characterize(&BodyBiasModel::date09_45nm(), &BiasLadder::date09()?);
+    /// let pre = FbbProblem::new(&netlist, &placement, &chara, 0.05, 2)?.preprocess()?;
+    ///
+    /// let outcome = IlpAllocator::default().solve(&pre)?;
+    /// let solution = outcome.solution.expect("feasible");
+    /// assert!(outcome.proven_optimal);
+    /// assert!(solution.meets_timing);
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///

@@ -20,6 +20,11 @@
 //!   column is measured against;
 //! * [`tuning`] — the multi-block tuning architecture of Fig. 2.
 //!
+//! The allocator hot loops (PassOne's level scan, PassTwo's per-budget
+//! candidate ranking, and ILP constraint generation) run on the std-only
+//! worker pool in [`fbb_sta::par`]; results are independent of thread count
+//! (set `FBB_THREADS=1` to force serial execution).
+//!
 //! # Example
 //!
 //! ```

@@ -103,6 +103,27 @@ impl<'nl> TimingGraph<'nl> {
     /// (picoseconds, indexed by [`GateId::index`]; a flip-flop's entry is its
     /// clk→Q delay).
     ///
+    /// For repeated analyses that change only a few gates between calls
+    /// (bias allocation, tuning loops), prefer
+    /// [`IncrementalSta`](crate::IncrementalSta), which reuses this pass's
+    /// results and re-propagates only the affected cone.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fbb_netlist::generators;
+    /// use fbb_sta::TimingGraph;
+    ///
+    /// let nl = generators::ripple_adder("add8", 8, false).expect("valid generator");
+    /// let graph = TimingGraph::new(&nl).expect("acyclic");
+    /// let delays = vec![10.0; nl.gate_count()];
+    /// let analysis = graph.analyze(&delays);
+    /// assert!(analysis.dcrit_ps() > 0.0);
+    /// // Every gate's worst path is bounded by the critical delay.
+    /// let slack = analysis.slack_through_ps(fbb_netlist::GateId::from_index(0));
+    /// assert!(slack >= 0.0);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `delays.len() != self.gate_count()`.

@@ -14,6 +14,17 @@
 //!   through one gate;
 //! * [`TimingAnalysis::critical_path_set`] — the deduplicated path set Π.
 //!
+//! Beyond the paper's one-shot flow, the crate provides the performance
+//! layer the allocators are built on:
+//!
+//! * [`IncrementalSta`] — generation-counted arrival/tail caches with
+//!   cone-limited re-timing after [`IncrementalSta::invalidate_rows`] /
+//!   [`IncrementalSta::set_gate_delay`], bit-identical to a from-scratch
+//!   [`TimingGraph::analyze`];
+//! * [`par`] — a std-only scoped-thread worker pool ([`par::parallel_map`],
+//!   [`par::parallel_gen`]) used for candidate ranking, ILP constraint
+//!   generation, and Monte Carlo sampling.
+//!
 //! # Example
 //!
 //! ```
@@ -37,9 +48,10 @@
 
 mod analysis;
 mod graph;
+pub mod par;
 mod path;
 pub mod ssta;
 
-pub use analysis::TimingAnalysis;
+pub use analysis::{IncrementalSta, RowId, RowMap, TimingAnalysis};
 pub use graph::TimingGraph;
 pub use path::TimingPath;

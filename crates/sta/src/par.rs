@@ -1,0 +1,154 @@
+//! Std-only scoped-thread worker pool for embarrassingly parallel loops.
+//!
+//! The allocators and the Monte Carlo sweep all share the same shape of hot
+//! loop: evaluate N independent candidates (bias assignments, budgets,
+//! samples, paths) and collect the results in order. [`parallel_map`] and
+//! [`parallel_gen`] run such loops across `std::thread::scope` workers
+//! without any external dependency, falling back to a plain serial loop when
+//! only one worker is available or the job is trivially small.
+//!
+//! # Determinism
+//!
+//! Workers claim indices from a shared atomic counter but write each result
+//! into its own slot, so the returned `Vec` is always in input order — the
+//! output is identical to the serial loop regardless of scheduling. Callers
+//! stay reproducible as long as each job is a pure function of its index.
+//!
+//! # Sizing
+//!
+//! The pool size is `min(jobs, threads())` where [`threads`] defaults to
+//! [`std::thread::available_parallelism`] and can be pinned with the
+//! `FBB_THREADS` environment variable (e.g. `FBB_THREADS=1` forces every
+//! loop serial — useful for benchmark baselines and bisection).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Worker-thread budget for parallel loops.
+///
+/// Reads the `FBB_THREADS` environment variable (clamped to ≥ 1) on every
+/// call — so tests and benches can toggle it at runtime — and falls back to
+/// [`std::thread::available_parallelism`], which is cached: on Linux it
+/// walks cgroup files and costs microseconds per query, far too slow for a
+/// function consulted inside allocator hot loops.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("FBB_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    static HARDWARE: OnceLock<usize> = OnceLock::new();
+    *HARDWARE
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Number of workers a loop over `jobs` items would use.
+pub fn worker_count(jobs: usize) -> usize {
+    threads().min(jobs).max(1)
+}
+
+/// Runs `f(0..n)` across the worker pool and returns the results in index
+/// order. Equivalent to `(0..n).map(f).collect()` but concurrent.
+///
+/// `f` must be safe to call from multiple threads; results are deterministic
+/// when `f` is a pure function of its index.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn parallel_gen<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count(n);
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` across the worker pool, preserving input order.
+///
+/// `f` receives `(index, &item)` so callers can derive per-item seeds or
+/// labels without capturing extra state.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_gen(items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_matches_serial_map() {
+        let expect: Vec<usize> = (0..257).map(|i| i * i).collect();
+        assert_eq!(parallel_gen(257, |i| i * i), expect);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<i64> = (0..500).rev().collect();
+        let got = parallel_map(&items, |i, &x| (i as i64, x * 2));
+        for (i, &(idx, doubled)) in got.iter().enumerate() {
+            assert_eq!(idx, i as i64);
+            assert_eq!(doubled, items[i] * 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(parallel_gen(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_gen(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(worker_count(0), 1);
+        assert!(worker_count(1) == 1);
+        assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_gen(64, |i| {
+                if i == 17 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

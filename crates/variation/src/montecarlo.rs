@@ -62,12 +62,18 @@ impl<'a> MonteCarloYield<'a> {
             .collect();
         let extent = (self.placement.die().width_um(), self.placement.die().height_um());
 
-        let mut betas = Vec::with_capacity(samples);
-        let mut pass = 0usize;
-        for s in 0..samples {
+        // Each die is seeded from its own sample index, so the samples are
+        // independent and evaluated across the worker pool; results come
+        // back in sample order, keeping the estimate bit-identical to the
+        // serial loop for a given seed.
+        let dcrits = fbb_sta::par::parallel_gen(samples, |s| {
             let die = variation.sample(seed.wrapping_add(s as u64), &positions, extent);
             let delays = die.apply(self.nominal_delays);
-            let dcrit = graph.analyze(&delays).dcrit_ps();
+            graph.analyze(&delays).dcrit_ps()
+        });
+        let mut betas = Vec::with_capacity(samples);
+        let mut pass = 0usize;
+        for dcrit in dcrits {
             if dcrit <= clock_ps {
                 pass += 1;
             }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI gate: everything a PR must keep green.
+#   - release build of the whole workspace
+#   - unit + integration + property + doc tests
+#   - rustdoc builds warning-free (RUSTDOCFLAGS turns warnings into errors)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+echo "check.sh: all green"

@@ -1,0 +1,136 @@
+//! Offline shim for `rand_chacha`.
+//!
+//! [`ChaCha8Rng`] is a genuine ChaCha stream cipher with 8 rounds — full
+//! cryptographic-quality equidistribution for the workspace's seeded
+//! simulations — implementing the shimmed `rand` traits. The word stream
+//! differs from the real `rand_chacha` crate (seed expansion and output
+//! ordering are simplified), which only shifts which concrete dies/netlists
+//! a seed denotes; every consumer in this workspace treats seeds as opaque.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha quarter round.
+#[inline]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr) => {
+        /// A seeded ChaCha random number generator.
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            /// Key words (state rows 1–2 of the ChaCha matrix).
+            key: [u32; 8],
+            /// 64-bit block counter + 64-bit nonce (fixed to 0).
+            counter: u64,
+            /// Buffered keystream block.
+            block: [u32; 16],
+            /// Next unread word in `block`; 16 = exhausted.
+            cursor: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+                let mut s = [0u32; 16];
+                s[..4].copy_from_slice(&SIGMA);
+                s[4..12].copy_from_slice(&self.key);
+                s[12] = self.counter as u32;
+                s[13] = (self.counter >> 32) as u32;
+                // s[14], s[15]: zero nonce.
+                let input = s;
+                for _ in 0..($rounds / 2) {
+                    quarter(&mut s, 0, 4, 8, 12);
+                    quarter(&mut s, 1, 5, 9, 13);
+                    quarter(&mut s, 2, 6, 10, 14);
+                    quarter(&mut s, 3, 7, 11, 15);
+                    quarter(&mut s, 0, 5, 10, 15);
+                    quarter(&mut s, 1, 6, 11, 12);
+                    quarter(&mut s, 2, 7, 8, 13);
+                    quarter(&mut s, 3, 4, 9, 14);
+                }
+                for (out, inp) in s.iter_mut().zip(input) {
+                    *out = out.wrapping_add(inp);
+                }
+                self.block = s;
+                self.cursor = 0;
+                self.counter = self.counter.wrapping_add(1);
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.cursor >= 16 {
+                    self.refill();
+                }
+                let word = self.block[self.cursor];
+                self.cursor += 1;
+                word
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                $name { key, counter: 0, block: [0; 16], cursor: 16 }
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8);
+chacha_rng!(ChaCha12Rng, 12);
+chacha_rng!(ChaCha20Rng, 20);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha20_zero_key_matches_rfc7539_style_vector() {
+        // ChaCha20, all-zero key and nonce, block 0: first output word of
+        // the keystream is 0xade0b876 (RFC 7539 §2.3.2 structure with a
+        // 64-bit counter layout; same first block since counter = nonce = 0).
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u32(), 0xade0_b876);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let heads = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+}

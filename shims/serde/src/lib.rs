@@ -1,0 +1,21 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on value types for
+//! forward compatibility but never serializes anything, and the build
+//! environment cannot reach a cargo registry. This shim provides marker
+//! traits plus no-op derive macros so `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile unchanged. Swap the
+//! workspace dependency back to the real crate when registry access exists.
+
+// The derive macros live in the macro namespace, the traits in the type
+// namespace, exactly like the real crate's `derive` feature re-export.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the build environment has no registry
+//! access, and nothing in this workspace actually serializes — the derives
+//! only need to parse. Both macros expand to nothing while accepting the
+//! `#[serde(...)]` helper attribute.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
