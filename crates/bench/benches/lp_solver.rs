@@ -16,10 +16,10 @@ fn fbb_like_model(rows: usize, levels: usize, paths: usize) -> Model {
     }
     for k in 0..paths {
         let mut terms = Vec::new();
-        for i in 0..rows {
+        for (i, xi) in x.iter().enumerate() {
             if (i + k) % 3 == 0 {
-                for j in 0..levels {
-                    terms.push((x[i][j], j as f64));
+                for (j, &xij) in xi.iter().enumerate() {
+                    terms.push((xij, j as f64));
                 }
             }
         }

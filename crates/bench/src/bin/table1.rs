@@ -88,7 +88,7 @@ fn main() {
             println!("{}", format_row(&cells, &widths));
         }
         // Paper reference values for side-by-side comparison.
-        if let Some(stats) = suite::PAPER_TABLE1.iter().find(|s| &s.name == name) {
+        if let Some(stats) = suite::PAPER_TABLE1.iter().find(|s| s.name == *name) {
             for (bi, beta_label) in ["5%", "10%"].iter().enumerate() {
                 let ilp = stats.ilp_savings.map_or(["-".into(), "-".into()], |s| {
                     [format!("{:.2}%", s[bi * 2]), format!("{:.2}%", s[bi * 2 + 1])]

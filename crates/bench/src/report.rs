@@ -175,6 +175,41 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_snapshot_parses_as_bench_report() {
+        // The telemetry flat-JSON format must stay mergeable into
+        // BENCH_sta.json: every key a Snapshot emits has to survive a
+        // BenchReport::load round trip.
+        let sink = fbb_telemetry::MemorySink::new();
+        use fbb_telemetry::Sink as _;
+        sink.add("lp_simplex_solves", 7);
+        sink.record("sta_retime_cone_nodes", 12.5);
+        sink.span_ns("ilp_solve", 1_000);
+        let snap = sink.snapshot();
+
+        let dir = std::env::temp_dir().join("fbb_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry_compat.json");
+        snap.save_flat_json(&path).unwrap();
+
+        let report = BenchReport::load(&path);
+        assert_eq!(report.get("lp_simplex_solves"), Some(7.0));
+        assert_eq!(report.get("sta_retime_cone_nodes_count"), Some(1.0));
+        assert!((report.get("sta_retime_cone_nodes_mean").unwrap() - 12.5).abs() < 1e-9);
+        assert_eq!(report.get("ilp_solve_calls"), Some(1.0));
+        assert_eq!(report.get("ilp_solve_total_ns"), Some(1000.0));
+        // Nothing silently dropped: every snapshot key loads back.
+        for line in snap.to_flat_json().lines() {
+            if let Some((key, _)) = line.trim().trim_end_matches(',').split_once(':') {
+                let key = key.trim().trim_matches('"');
+                if !key.is_empty() && key != "{" && key != "}" {
+                    assert!(report.get(key).is_some(), "key {key} lost in round trip");
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn measure_reports_positive_times() {
         let m = measure(3, 10, || {
             std::hint::black_box((0..100).sum::<u64>());

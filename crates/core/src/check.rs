@@ -98,13 +98,19 @@ impl<'p> CheckState<'p> {
 
     /// Moves `row` to `level` and reports feasibility; reverts the move if
     /// it breaks timing. Returns whether the move was kept.
+    ///
+    /// Telemetry: every call counts as a `core_demotion_attempts`; reverted
+    /// moves additionally count as `core_demotion_rollbacks` (PassTwo's
+    /// failure rate). Integer counters only — this runs on the worker pool.
     pub fn try_set_level(&mut self, row: usize, level: usize) -> bool {
+        fbb_telemetry::counter("core_demotion_attempts", 1);
         let old = self.assignment[row];
         self.set_level(row, level);
         if self.feasible() {
             true
         } else {
             self.set_level(row, old);
+            fbb_telemetry::counter("core_demotion_rollbacks", 1);
             false
         }
     }

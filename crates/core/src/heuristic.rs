@@ -19,7 +19,12 @@ use crate::{check_timing, CheckState, ClusterSolution, FbbError, Preprocessed};
 /// Returns `None` when even the top of the ladder cannot compensate β —
 /// the paper's `FALSE` outcome.
 pub fn pass_one(pre: &Preprocessed) -> Option<usize> {
+    fbb_telemetry::counter("core_pass_one_scans", 1);
     let check = |j: usize| {
+        // NOTE: probe counts legitimately differ between the lazy serial
+        // scan and the eager parallel scan, so `core_pass_one_probes` is
+        // excluded from cross-`FBB_THREADS` determinism comparisons.
+        fbb_telemetry::counter("core_pass_one_probes", 1);
         let assignment = vec![j; pre.n_rows];
         check_timing(pre, &assignment).is_ok()
     };

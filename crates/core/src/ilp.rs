@@ -144,8 +144,14 @@ impl IlpAllocator {
     ///
     /// Propagates [`FbbError::Solver`] on numerical failure.
     pub fn solve(&self, pre: &Preprocessed) -> Result<IlpOutcome, FbbError> {
+        let _ilp_span = fbb_telemetry::span("ilp_solve");
         let start = Instant::now();
         let model = self.build_model(pre)?;
+        if fbb_telemetry::is_enabled() {
+            fbb_telemetry::counter("ilp_solves", 1);
+            fbb_telemetry::counter("ilp_variables", model.var_count() as u64);
+            fbb_telemetry::counter("ilp_constraints", model.constraint_count() as u64);
+        }
 
         let incumbent = if self.cold_start {
             None

@@ -160,8 +160,8 @@ impl<'a> FbbProblem<'a> {
         let mut row_leakage = vec![vec![0.0f64; levels]; n_rows];
         for (id, gate) in self.netlist.iter_gates() {
             let row = group_of[id.index()];
-            for j in 0..levels {
-                row_leakage[row][j] += chara.leakage_nw(gate.cell, j);
+            for (j, slot) in row_leakage[row].iter_mut().enumerate() {
+                *slot += chara.leakage_nw(gate.cell, j);
             }
         }
 

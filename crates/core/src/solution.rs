@@ -73,7 +73,7 @@ impl ClusterSolution {
                 if lo == hi && lo > own {
                     let cost = pre.row_leakage_nw[r][lo] - pre.row_leakage_nw[r][own];
                     if spent + cost <= budget
-                        && best.map_or(true, |(_, _, c)| cost < c)
+                        && best.is_none_or(|(_, _, c)| cost < c)
                     {
                         best = Some((r, lo, cost));
                     }

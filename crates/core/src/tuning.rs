@@ -137,7 +137,7 @@ pub fn tune_blocks_shared(
             let mut candidate = menu.clone();
             candidate.remove(i);
             if let Ok((tuned, total)) = solve_all(&candidate) {
-                if best.as_ref().map_or(true, |&(_, t, _)| total < t) {
+                if best.as_ref().is_none_or(|&(_, t, _)| total < t) {
                     best = Some((i, total, tuned));
                 }
             }

@@ -101,7 +101,7 @@ impl BiasLadder {
                 "bias generator resolution must be nonzero".into(),
             ));
         }
-        if max_mv % resolution_mv != 0 {
+        if !max_mv.is_multiple_of(resolution_mv) {
             return Err(DeviceError::InvalidLadder(format!(
                 "resolution {resolution_mv} mV does not divide the maximum bias {max_mv} mV"
             )));

@@ -63,12 +63,23 @@ pub struct MipSolution {
 }
 
 impl MipSolution {
-    /// Residual relative MIP gap (`0` when proven optimal).
+    /// Residual relative MIP gap: the standard
+    /// `|objective - best_bound| / max(|objective|, |best_bound|, 1)`,
+    /// which is well-defined for zero and negative objectives (the old
+    /// `|objective|`-only denominator exploded near zero and understated the
+    /// gap whenever the bound dominated the incumbent in magnitude).
+    ///
+    /// Returns `0` when proven optimal and `INFINITY` when there is no
+    /// incumbent or no finite bound — an honest "unbounded gap", never a
+    /// fake small number.
     pub fn gap(&self) -> f64 {
         if self.status == MipStatus::Optimal {
             return 0.0;
         }
-        let denom = self.objective.abs().max(1e-9);
+        if self.x.is_empty() || !self.best_bound.is_finite() {
+            return f64::INFINITY;
+        }
+        let denom = self.objective.abs().max(self.best_bound.abs()).max(1.0);
         ((self.objective - self.best_bound) / denom).max(0.0)
     }
 }
@@ -112,6 +123,7 @@ pub fn solve_mip(
     options: &MipOptions,
     incumbent: Option<(f64, Vec<f64>)>,
 ) -> Result<MipSolution, LpError> {
+    let _mip_span = fbb_telemetry::span("mip_solve");
     model.validate()?;
     let start = Instant::now();
     let n = model.var_count();
@@ -133,32 +145,39 @@ pub fn solve_mip(
     heap.push(Node { bound: f64::NEG_INFINITY, lower: root_lower, upper: root_upper });
 
     let mut nodes = 0usize;
-    let mut global_bound = f64::NEG_INFINITY;
     let mut limit_hit = false;
+    let mut gap_proven = false;
     let mut root_unbounded = false;
-    let mut root_infeasible = false;
+    let mut tel_pruned = 0u64;
+    let mut tel_infeasible = 0u64;
+    let mut tel_branches = 0u64;
+    let mut tel_incumbents = 0u64;
 
     while let Some(node) = heap.pop() {
-        // The heap is ordered by bound, so the top of the heap *is* the
-        // global best bound among open nodes.
-        global_bound = node.bound;
-        if best_obj.is_finite() {
-            let denom = best_obj.abs().max(1e-9);
+        if best_obj.is_finite() && node.bound.is_finite() {
+            let denom = best_obj.abs().max(node.bound.abs()).max(1.0);
             if node.bound >= best_obj - options.rel_gap * denom - 1e-12 {
-                // Everything remaining is dominated: proven optimal.
-                global_bound = best_obj;
+                // The heap is ordered by bound, so every remaining node is
+                // dominated too: the incumbent is proven optimal.
+                gap_proven = true;
                 break;
             }
         }
+        // On any limit break the popped node goes BACK into the heap: the
+        // final bound is computed from the open nodes, and silently dropping
+        // the minimum-bound node would overstate `best_bound` (and understate
+        // the reported gap).
         if let Some(tl) = options.time_limit {
             if start.elapsed() >= tl {
                 limit_hit = true;
+                heap.push(node);
                 break;
             }
         }
         if let Some(nl) = options.node_limit {
             if nodes >= nl {
                 limit_hit = true;
+                heap.push(node);
                 break;
             }
         }
@@ -168,13 +187,14 @@ pub fn solve_mip(
         let relax = solve_lp_with_bounds(model, Some((&node.lower, &node.upper)), deadline)?;
         match relax.status {
             LpStatus::DeadlineExceeded => {
+                // The node's relaxation was cut short, so its inherited bound
+                // is still the best information we have: keep it open.
                 limit_hit = true;
+                heap.push(node);
                 break;
             }
             LpStatus::Infeasible => {
-                if nodes == 1 {
-                    root_infeasible = true;
-                }
+                tel_infeasible += 1;
                 continue;
             }
             LpStatus::Unbounded => {
@@ -187,6 +207,7 @@ pub fn solve_mip(
             LpStatus::Optimal => {}
         }
         if best_obj.is_finite() && relax.objective >= best_obj - 1e-9 {
+            tel_pruned += 1;
             continue; // dominated
         }
 
@@ -203,6 +224,7 @@ pub fn solve_mip(
                 if obj < best_obj {
                     best_obj = obj;
                     best_x = Some(x);
+                    tel_incumbents += 1;
                 }
             }
             Some(j) => {
@@ -217,9 +239,11 @@ pub fn solve_mip(
                         if obj < best_obj {
                             best_obj = obj;
                             best_x = Some(probe);
+                            tel_incumbents += 1;
                         }
                     }
                 }
+                tel_branches += 1;
                 let xv = relax.x[j];
                 let mut down = Node {
                     bound: relax.objective,
@@ -235,9 +259,22 @@ pub fn solve_mip(
         }
     }
 
-    if heap.is_empty() && !limit_hit && !root_unbounded {
-        global_bound = if best_obj.is_finite() { best_obj } else { f64::INFINITY };
-    }
+    // Final bound bookkeeping. A proven finish pins the bound to the
+    // incumbent; otherwise the minimum over the open nodes (the heap top) is
+    // the tightest proven bound — the limit paths above re-push the popped
+    // node precisely so it is still counted here.
+    let proven = gap_proven || (heap.is_empty() && !limit_hit && !root_unbounded);
+    let best_bound = if root_unbounded {
+        f64::NEG_INFINITY
+    } else if proven || heap.is_empty() {
+        if best_obj.is_finite() {
+            best_obj
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        heap.peek().map_or(f64::NEG_INFINITY, |top| top.bound)
+    };
 
     let elapsed = start.elapsed();
     let status = if root_unbounded {
@@ -250,15 +287,25 @@ pub fn solve_mip(
             (None, true) => MipStatus::Unknown,
         }
     };
-    let _ = root_infeasible;
-    Ok(MipSolution {
+    let solution = MipSolution {
         status,
         x: best_x.unwrap_or_default(),
         objective: if best_obj.is_finite() { best_obj } else { 0.0 },
-        best_bound: global_bound,
+        best_bound,
         nodes,
         elapsed,
-    })
+    };
+    if fbb_telemetry::is_enabled() {
+        fbb_telemetry::counter("bnb_solves", 1);
+        fbb_telemetry::counter("bnb_nodes_explored", nodes as u64);
+        fbb_telemetry::counter("bnb_nodes_pruned", tel_pruned);
+        fbb_telemetry::counter("bnb_nodes_infeasible", tel_infeasible);
+        fbb_telemetry::counter("bnb_branches", tel_branches);
+        fbb_telemetry::counter("bnb_incumbent_updates", tel_incumbents);
+        fbb_telemetry::record("bnb_open_nodes", heap.len() as f64);
+        fbb_telemetry::record("bnb_gap", solution.gap());
+    }
+    Ok(solution)
 }
 
 /// Chooses the branching variable: highest priority class first, then most
@@ -384,6 +431,102 @@ mod tests {
         assert!((s.objective - 5.0).abs() < 1e-6);
         assert!((s.x[1] - 1.0).abs() < 1e-6);
         assert!((s.x[2] - 1.0).abs() < 1e-6);
+    }
+
+    fn feasible_solution(objective: f64, best_bound: f64) -> MipSolution {
+        MipSolution {
+            status: MipStatus::Feasible,
+            x: vec![0.0],
+            objective,
+            best_bound,
+            nodes: 1,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn gap_zero_objective() {
+        // Old formula divided by max(|0|, 1e-9) and exploded to 1e9x.
+        let s = feasible_solution(0.0, -0.5);
+        assert!((s.gap() - 0.5).abs() < 1e-12, "{}", s.gap());
+    }
+
+    #[test]
+    fn gap_negative_objective() {
+        // |obj - bound| / max(|obj|, |bound|, 1) = 2 / 12 for obj=-10, bound=-12.
+        let s = feasible_solution(-10.0, -12.0);
+        assert!((s.gap() - 2.0 / 12.0).abs() < 1e-12, "{}", s.gap());
+    }
+
+    #[test]
+    fn gap_sign_crossing() {
+        // obj=1, bound=-3: gap 4 / max(1, 3, 1) = 4/3, not 4/1.
+        let s = feasible_solution(1.0, -3.0);
+        assert!((s.gap() - 4.0 / 3.0).abs() < 1e-12, "{}", s.gap());
+    }
+
+    #[test]
+    fn gap_without_incumbent_or_bound_is_infinite() {
+        let mut s = feasible_solution(0.0, f64::NEG_INFINITY);
+        s.status = MipStatus::Unknown;
+        s.x = vec![];
+        assert!(s.gap().is_infinite());
+        let s = feasible_solution(5.0, f64::NEG_INFINITY);
+        assert!(s.gap().is_infinite());
+    }
+
+    #[test]
+    fn gap_proven_optimal_is_zero() {
+        let mut s = feasible_solution(3.0, 3.0);
+        s.status = MipStatus::Optimal;
+        assert_eq!(s.gap(), 0.0);
+    }
+
+    #[test]
+    fn expired_time_limit_never_reports_optimal() {
+        // A branching-heavy model with an already-expired budget: the solve
+        // must come back as Unknown (no incumbent) with an honest bound,
+        // never as Optimal.
+        let mut m = Model::new();
+        let vars: Vec<usize> = (0..12).map(|i| m.add_binary(1.0 + (i as f64) * 0.1)).collect();
+        for chunk in vars.chunks(3) {
+            let terms = chunk.iter().map(|&v| (v, 1.0)).collect();
+            m.add_constraint(terms, Sense::Eq, 1.0).unwrap();
+        }
+        let opts = MipOptions { time_limit: Some(Duration::ZERO), ..Default::default() };
+        let s = solve_mip(&m, &opts, None).unwrap();
+        assert_eq!(s.status, MipStatus::Unknown);
+        // The root node (bound -inf) stayed in the bookkeeping, so the gap
+        // reports as unbounded rather than a made-up small number.
+        assert!(s.gap().is_infinite());
+    }
+
+    #[test]
+    fn expired_time_limit_with_incumbent_reports_feasible() {
+        let mut m = Model::new();
+        let x = m.add_integer(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.5).unwrap();
+        let opts = MipOptions { time_limit: Some(Duration::ZERO), ..Default::default() };
+        let s = solve_mip(&m, &opts, Some((3.0, vec![3.0]))).unwrap();
+        assert_eq!(s.status, MipStatus::Feasible);
+        assert!((s.objective - 3.0).abs() < 1e-9);
+        assert!(s.best_bound <= s.objective);
+    }
+
+    #[test]
+    fn node_limit_keeps_open_node_in_bound() {
+        // min x, x >= 2.5 integer. With node_limit 1 the root relaxation
+        // (bound 2.5) is explored, its children are pushed, and the limit
+        // trips on the second pop. The popped child must stay in the
+        // bookkeeping: best_bound must not exceed the true optimum 3.
+        let mut m = Model::new();
+        let x = m.add_integer(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.5).unwrap();
+        let opts = MipOptions { node_limit: Some(1), ..Default::default() };
+        let s = solve_mip(&m, &opts, None).unwrap();
+        assert_ne!(s.status, MipStatus::Optimal);
+        assert!(s.best_bound <= 3.0 + 1e-9, "bound {} overstated", s.best_bound);
+        assert!(s.best_bound >= 2.5 - 1e-9, "bound {} understated", s.best_bound);
     }
 
     #[test]

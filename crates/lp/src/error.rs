@@ -23,6 +23,11 @@ pub enum LpError {
     },
     /// The simplex iteration limit was exhausted (numerical trouble).
     IterationLimit,
+    /// The wall-clock deadline expired mid-solve. Distinct from
+    /// [`LpError::IterationLimit`]: a deadline expiry is an expected,
+    /// caller-requested abort (surfaced as
+    /// `LpStatus::DeadlineExceeded`), not a numerical failure.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for LpError {
@@ -34,6 +39,7 @@ impl fmt::Display for LpError {
                 write!(f, "variable {var} has lower bound {lower} above upper bound {upper}")
             }
             LpError::IterationLimit => write!(f, "simplex iteration limit exhausted"),
+            LpError::DeadlineExceeded => write!(f, "wall-clock deadline expired mid-solve"),
         }
     }
 }
@@ -48,6 +54,12 @@ mod tests {
     fn display() {
         assert!(LpError::UnknownVariable(3).to_string().contains('3'));
         assert!(LpError::IterationLimit.to_string().contains("iteration"));
+        assert!(LpError::DeadlineExceeded.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn deadline_and_iteration_limit_are_distinct() {
+        assert_ne!(LpError::DeadlineExceeded, LpError::IterationLimit);
     }
 
     #[test]

@@ -58,6 +58,28 @@ struct Tableau {
     lower: Vec<f64>,
     upper: Vec<f64>,
     iterations: usize,
+    /// Telemetry tallies, accumulated in plain fields so the hot loop never
+    /// touches the global sink; flushed once per solve by `Drop`.
+    pivots: usize,
+    bound_flips: usize,
+    bland_activations: usize,
+    bland_active: bool,
+}
+
+impl Drop for Tableau {
+    /// Flushes the solve's aggregate counters to `fbb_telemetry`. Drop-based
+    /// so every exit path of [`solve_lp_with_bounds`] — optimal, infeasible,
+    /// unbounded, deadline, iteration limit — reports exactly once.
+    fn drop(&mut self) {
+        if !fbb_telemetry::is_enabled() {
+            return;
+        }
+        fbb_telemetry::counter("lp_simplex_solves", 1);
+        fbb_telemetry::counter("lp_simplex_iterations", self.iterations as u64);
+        fbb_telemetry::counter("lp_simplex_pivots", self.pivots as u64);
+        fbb_telemetry::counter("lp_simplex_bound_flips", self.bound_flips as u64);
+        fbb_telemetry::counter("lp_simplex_bland_activations", self.bland_activations as u64);
+    }
 }
 
 impl Tableau {
@@ -76,9 +98,11 @@ impl Tableau {
     }
 
     /// Runs simplex iterations for cost vector `c` until optimality.
-    /// Returns `Ok(false)` if the problem is unbounded under `c` and
-    /// `Err(LpError::IterationLimit)` on the deadline as well (callers
-    /// distinguish via the deadline they passed).
+    /// Returns `Ok(false)` if the problem is unbounded under `c`,
+    /// `Err(LpError::IterationLimit)` when the iteration budget is exhausted
+    /// (numerical cycling), and `Err(LpError::DeadlineExceeded)` when the
+    /// wall-clock deadline expires — each cause is its own variant so
+    /// callers never have to guess which limit tripped.
     fn optimize(
         &mut self,
         c: &[f64],
@@ -92,11 +116,17 @@ impl Tableau {
                 return Err(LpError::IterationLimit);
             }
             if let Some(d) = deadline {
-                if (self.iterations == 1 || self.iterations % 64 == 0) && Instant::now() >= d {
-                    return Err(LpError::IterationLimit);
+                if (self.iterations == 1 || self.iterations.is_multiple_of(64))
+                    && Instant::now() >= d
+                {
+                    return Err(LpError::DeadlineExceeded);
                 }
             }
             let bland = stall > 64 + self.m;
+            if bland && !self.bland_active {
+                self.bland_activations += 1;
+            }
+            self.bland_active = bland;
 
             // Basic cost vector.
             let cb: Vec<f64> = self.basis.iter().map(|&j| c[j]).collect();
@@ -104,10 +134,9 @@ impl Tableau {
 
             // Pricing: find the entering column.
             let mut entering: Option<(usize, f64, f64)> = None; // (col, violation, dir)
-            for j in 0..self.ntot {
-                match self.status[j] {
-                    VarStatus::Basic(_) => continue,
-                    _ => {}
+            for (j, &cj) in c.iter().enumerate().take(self.ntot) {
+                if matches!(self.status[j], VarStatus::Basic(_)) {
+                    continue;
                 }
                 if self.lower[j] >= self.upper[j] - PIVOT_TOL
                     && self.lower[j].is_finite()
@@ -115,10 +144,9 @@ impl Tableau {
                 {
                     continue; // fixed variable
                 }
-                let mut d = c[j];
+                let mut d = cj;
                 if cb_nonzero {
-                    for i in 0..self.m {
-                        let cbi = cb[i];
+                    for (i, &cbi) in cb.iter().enumerate() {
                         if cbi != 0.0 {
                             d -= cbi * self.at(i, j);
                         }
@@ -191,6 +219,7 @@ impl Tableau {
             match leave {
                 None => {
                     // Bound flip: entering crosses to its opposite bound.
+                    self.bound_flips += 1;
                     for i in 0..self.m {
                         let delta = dir * self.at(i, e) * t_best;
                         self.b_hat[i] -= delta;
@@ -202,6 +231,7 @@ impl Tableau {
                     };
                 }
                 Some((r, hit)) => {
+                    self.pivots += 1;
                     let entering_value = self.nonbasic_value(e) + dir * t_best;
                     for i in 0..self.m {
                         if i != r {
@@ -268,6 +298,7 @@ pub fn solve_lp_with_bounds(
     bounds: Option<(&[f64], &[f64])>,
     deadline: Option<Instant>,
 ) -> Result<LpSolution, LpError> {
+    let _lp_span = fbb_telemetry::span("lp_solve");
     model.validate()?;
     let n = model.vars.len();
     let m = model.constraints.len();
@@ -360,27 +391,35 @@ pub fn solve_lp_with_bounds(
         status[n + m + k] = VarStatus::Basic(k);
     }
 
-    let mut tab = Tableau { m, ntot, t, b_hat, basis, status, lower, upper, iterations: 0 };
+    let mut tab = Tableau {
+        m,
+        ntot,
+        t,
+        b_hat,
+        basis,
+        status,
+        lower,
+        upper,
+        iterations: 0,
+        pivots: 0,
+        bound_flips: 0,
+        bland_activations: 0,
+        bland_active: false,
+    };
     let iter_limit = 50_000 + 40 * (n + m);
 
     // Phase 1: minimize the artificial sum.
     let mut c1 = vec![0.0; ntot];
-    for j in n + m..ntot {
-        c1[j] = 1.0;
-    }
-    let deadline_hit = |e: LpError| e;
+    c1[n + m..].fill(1.0);
     let bounded = match tab.optimize(&c1, iter_limit, deadline) {
         Ok(b) => b,
-        Err(e) => {
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                return Ok(LpSolution {
-                    status: LpStatus::DeadlineExceeded,
-                    x: vec![],
-                    objective: 0.0,
-                });
-            }
-            return Err(deadline_hit(e));
+        // A deadline expiry is a caller-requested abort, reported in-band as
+        // a status; iteration-limit exhaustion stays a hard error so numerical
+        // cycling is never mistaken for a clean timeout.
+        Err(LpError::DeadlineExceeded) => {
+            return Ok(LpSolution { status: LpStatus::DeadlineExceeded, x: vec![], objective: 0.0 });
         }
+        Err(e) => return Err(e),
     };
     debug_assert!(bounded, "phase 1 objective is bounded below by 0");
     let artificial_sum: f64 = (0..m)
@@ -419,16 +458,10 @@ pub fn solve_lp_with_bounds(
     }
     let bounded = match tab.optimize(&c2, iter_limit, deadline) {
         Ok(b) => b,
-        Err(e) => {
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                return Ok(LpSolution {
-                    status: LpStatus::DeadlineExceeded,
-                    x: vec![],
-                    objective: 0.0,
-                });
-            }
-            return Err(e);
+        Err(LpError::DeadlineExceeded) => {
+            return Ok(LpSolution { status: LpStatus::DeadlineExceeded, x: vec![], objective: 0.0 });
         }
+        Err(e) => return Err(e),
     };
     if !bounded {
         return Ok(LpSolution { status: LpStatus::Unbounded, x: vec![], objective: 0.0 });

@@ -1,0 +1,151 @@
+//! Property tests: degenerate and fixed-variable LPs.
+//!
+//! Duplicated constraint rows pile many tied basic variables onto the same
+//! vertex, forcing degenerate (zero-length) pivots — the stall pattern that
+//! triggers the simplex's Bland anti-cycling fallback. Fixed variables
+//! (`lower == upper`) exercise the pricing loop's skip path. Either way the
+//! feasible set is unchanged, so the degenerate model must terminate and
+//! agree with its clean counterpart.
+
+use fbb_lp::{solve_lp, LpStatus, Model, Sense};
+use proptest::prelude::*;
+
+/// A small LP over boxed continuous variables, some of them fixed, whose
+/// constraint rows are each stated `dup` times.
+#[derive(Debug, Clone)]
+struct DegenerateProgram {
+    /// Per variable: (lower, width); width 0 fixes the variable.
+    bounds: Vec<(i32, i32)>,
+    objective: Vec<i32>,
+    rows: Vec<(Vec<i32>, Sense, i32)>,
+    dup: usize,
+}
+
+fn degenerate_program() -> impl Strategy<Value = DegenerateProgram> {
+    (2usize..=6).prop_flat_map(|n| {
+        let bounds = proptest::collection::vec((0i32..=3, 0i32..=4), n);
+        let obj = proptest::collection::vec(-5i32..=5, n);
+        let row = (
+            proptest::collection::vec(-3i32..=3, n),
+            prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)],
+            -8i32..=10,
+        );
+        let rows = proptest::collection::vec(row, 1..=4);
+        (bounds, obj, rows, 2usize..=5).prop_map(|(bounds, objective, rows, dup)| {
+            DegenerateProgram { bounds, objective, rows, dup }
+        })
+    })
+}
+
+/// Builds the model; `dup` copies of every row when `degenerate`.
+fn build(p: &DegenerateProgram, degenerate: bool) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<usize> = p
+        .bounds
+        .iter()
+        .zip(&p.objective)
+        .map(|(&(lo, width), &c)| {
+            m.add_continuous(f64::from(lo), f64::from(lo + width), f64::from(c))
+        })
+        .collect();
+    let copies = if degenerate { p.dup } else { 1 };
+    for (coeffs, sense, rhs) in &p.rows {
+        for _ in 0..copies {
+            let terms: Vec<(usize, f64)> =
+                vars.iter().zip(coeffs).map(|(&v, &c)| (v, f64::from(c))).collect();
+            m.add_constraint(terms, *sense, f64::from(*rhs)).expect("valid terms");
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Duplicated rows change nothing but the pivot combinatorics: status and
+    /// optimum must match the clean model, and the solve must terminate
+    /// (an `Err(IterationLimit)` here means anti-cycling failed).
+    #[test]
+    fn duplicated_rows_match_clean_model(p in degenerate_program()) {
+        let clean = build(&p, false);
+        let degen = build(&p, true);
+        let clean_sol = solve_lp(&clean).expect("clean model terminates");
+        let degen_sol = solve_lp(&degen).expect("degenerate model terminates");
+        prop_assert_eq!(clean_sol.status, degen_sol.status);
+        if clean_sol.status == LpStatus::Optimal {
+            prop_assert!(
+                (clean_sol.objective - degen_sol.objective).abs() < 1e-5,
+                "clean {} vs degenerate {}", clean_sol.objective, degen_sol.objective
+            );
+            prop_assert!(clean.is_feasible(&degen_sol.x, 1e-6));
+        }
+    }
+
+    /// The reported objective is really the objective of the reported point,
+    /// and fixed variables stay pinned to their (identical) bounds.
+    #[test]
+    fn fixed_variables_stay_fixed(p in degenerate_program()) {
+        let model = build(&p, true);
+        let sol = solve_lp(&model).expect("terminates");
+        if sol.status == LpStatus::Optimal {
+            prop_assert!((sol.objective - model.objective_value(&sol.x)).abs() < 1e-6);
+            for (j, &(lo, width)) in p.bounds.iter().enumerate() {
+                if width == 0 {
+                    prop_assert!(
+                        (sol.x[j] - f64::from(lo)).abs() < 1e-9,
+                        "fixed var {j} moved to {}", sol.x[j]
+                    );
+                }
+                prop_assert!(sol.x[j] >= f64::from(lo) - 1e-9);
+                prop_assert!(sol.x[j] <= f64::from(lo + width) + 1e-9);
+            }
+        }
+    }
+}
+
+/// Beale's classic cycling example: Dantzig pricing cycles forever on it
+/// with unlucky tie-breaking, so finishing at the optimum demonstrates the
+/// stall detector and Bland fallback work.
+#[test]
+fn beale_cycling_example_terminates_at_optimum() {
+    let mut m = Model::new();
+    let x1 = m.add_continuous(0.0, f64::INFINITY, -0.75);
+    let x2 = m.add_continuous(0.0, f64::INFINITY, 150.0);
+    let x3 = m.add_continuous(0.0, f64::INFINITY, -0.02);
+    let x4 = m.add_continuous(0.0, f64::INFINITY, 6.0);
+    m.add_constraint(
+        vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+        Sense::Le,
+        0.0,
+    )
+    .unwrap();
+    m.add_constraint(
+        vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+        Sense::Le,
+        0.0,
+    )
+    .unwrap();
+    m.add_constraint(vec![(x3, 1.0)], Sense::Le, 1.0).unwrap();
+    let sol = solve_lp(&m).expect("anti-cycling terminates");
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!((sol.objective + 0.05).abs() < 1e-6, "objective {}", sol.objective);
+}
+
+/// A vertex shared by many redundant hyperplanes plus fixed variables —
+/// maximal degeneracy in one model; must terminate with the right optimum.
+#[test]
+fn heavily_duplicated_vertex_terminates() {
+    let mut m = Model::new();
+    let x = m.add_continuous(0.0, 10.0, -1.0);
+    let y = m.add_continuous(0.0, 10.0, -1.0);
+    let z = m.add_continuous(4.0, 4.0, 100.0); // fixed
+    for _ in 0..40 {
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 6.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0), (z, 0.0)], Sense::Le, 6.0).unwrap();
+    }
+    m.add_constraint(vec![(x, 1.0)], Sense::Le, 6.0).unwrap();
+    let sol = solve_lp(&m).expect("terminates");
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!((sol.objective - (-6.0 + 400.0)).abs() < 1e-5, "objective {}", sol.objective);
+    assert!((sol.x[2] - 4.0).abs() < 1e-9, "fixed variable moved");
+}

@@ -193,14 +193,14 @@ pub fn array_multiplier(name: &str, width: u32) -> Result<Netlist, NetlistError>
         .flat_map(|i| [i, w - 1 - i])
         .chain(if w % 2 == 1 { Some(w / 2) } else { None })
         .collect();
-    for j in 1..w {
+    for pp_j in pp.iter().take(w).skip(1) {
         // Index into new_carry = weight - j; needs w+1 slots for the top carry.
         let mut new_sum: Vec<Option<NetId>> = vec![None; w];
         let mut new_carry: Vec<Option<NetId>> = vec![None; w + 1];
         for &i in &fold {
             let (s, c) = add3(
                 &mut b,
-                [Some(pp[j][i]), sum_bits.get(i).copied(), carry_bits[i]],
+                [Some(pp_j[i]), sum_bits.get(i).copied(), carry_bits[i]],
             )?;
             new_sum[i] = s;
             new_carry[i + 1] = c;
@@ -216,8 +216,8 @@ pub fn array_multiplier(name: &str, width: u32) -> Result<Netlist, NetlistError>
     // Final ripple row resolving weights w .. 2w-1. Entering: sum_bits[i] has
     // weight w+i (len w-1), carry_bits[i] has weight w+i (len w).
     let mut run: Option<NetId> = None;
-    for i in 0..w {
-        let (s, c) = add3(&mut b, [sum_bits.get(i).copied(), carry_bits[i], run])?;
+    for (i, &carry) in carry_bits.iter().enumerate().take(w) {
+        let (s, c) = add3(&mut b, [sum_bits.get(i).copied(), carry, run])?;
         // Weight 2w-1 is the last bit; its carry (weight 2w) is arithmetically
         // always zero and intentionally left unconnected when present.
         products.push(s.expect("final row bits are always populated by carry chain"));

@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn merge_of_one_is_a_rename() {
         let a = generators::alu("a", 4).unwrap();
-        let m = merge("solo", &[a.clone()]);
+        let m = merge("solo", std::slice::from_ref(&a));
         assert_eq!(m.gate_count(), a.gate_count());
         assert_eq!(m.name(), "solo");
         m.validate().unwrap();

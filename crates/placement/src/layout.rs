@@ -298,9 +298,11 @@ pub fn render_ascii(
         }
         let util = placement.row_utilization(row.id);
         let filled = ((util * BAR as f64).round() as usize).min(BAR);
-        let contacts = (layout.contact_sites[r] > 0)
-            .then(|| format!(" +{} contact sites", layout.contact_sites[r]))
-            .unwrap_or_default();
+        let contacts = if layout.contact_sites[r] > 0 {
+            format!(" +{} contact sites", layout.contact_sites[r])
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
             "row {:>3} [{}|{}] {:>5} {:>4.0}% util{}\n",
             r,

@@ -452,10 +452,12 @@ impl<'g, 'nl> IncrementalSta<'g, 'nl> {
         // Forward cone: recompute arrivals; propagate only past gates whose
         // arrival actually changed (bitwise). `fwd_hi` grows as the cone
         // extends downstream.
+        let mut ranks_scanned = 0usize;
         let mut rank = fwd_lo;
         while rank <= fwd_hi {
             let i = graph.topo[rank].index();
             rank += 1;
+            ranks_scanned += 1;
             if self.fwd_seen[i] != gen {
                 continue;
             }
@@ -496,6 +498,7 @@ impl<'g, 'nl> IncrementalSta<'g, 'nl> {
             while rank >= bwd_lo as isize {
                 let i = graph.topo[rank as usize].index();
                 rank -= 1;
+                ranks_scanned += 1;
                 if self.bwd_seen[i] != gen {
                     continue;
                 }
@@ -561,6 +564,14 @@ impl<'g, 'nl> IncrementalSta<'g, 'nl> {
             self.pending_flag[i] = false;
         }
         self.last_retimed = retimed;
+        if fbb_telemetry::is_enabled() {
+            // retime() runs on the coordinating thread, so float cone-size
+            // observations land in a deterministic order.
+            fbb_telemetry::counter("sta_incremental_retimes", 1);
+            fbb_telemetry::counter("sta_retimed_nodes_total", retimed as u64);
+            fbb_telemetry::counter("sta_retime_ranks_scanned", ranks_scanned as u64);
+            fbb_telemetry::record("sta_retime_cone_nodes", retimed as f64);
+        }
         self.dcrit
     }
 

@@ -129,6 +129,11 @@ impl<'nl> TimingGraph<'nl> {
     /// Panics if `delays.len() != self.gate_count()`.
     pub fn analyze(&self, delays: &[f64]) -> TimingAnalysis<'_, 'nl> {
         assert_eq!(delays.len(), self.gate_count(), "one delay per gate required");
+        // Counter only (no float observation): analyze() also runs on
+        // `par` worker threads, where only order-independent integer sums
+        // stay deterministic. Together with `sta_incremental_retimes` this
+        // gives the full-vs-incremental hit ratio.
+        fbb_telemetry::counter("sta_full_analyses", 1);
         let n = self.gate_count();
         let mut arrival = vec![0.0f64; n];
         let mut pred: Vec<Option<GateId>> = vec![None; n];

@@ -62,7 +62,19 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let workers = worker_count(n);
-    if workers <= 1 || n <= 1 {
+    let serial = workers <= 1 || n <= 1;
+    if fbb_telemetry::is_enabled() {
+        // NOTE: `par_*` counters legitimately vary with `FBB_THREADS` (the
+        // serial/parallel split depends on the worker budget); determinism
+        // comparisons across thread counts must exclude them.
+        fbb_telemetry::counter("par_loops", 1);
+        fbb_telemetry::counter("par_jobs", n as u64);
+        if !serial {
+            fbb_telemetry::counter("par_parallel_loops", 1);
+            fbb_telemetry::counter("par_workers_spawned", workers as u64);
+        }
+    }
+    if serial {
         return (0..n).map(f).collect();
     }
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();

@@ -66,6 +66,7 @@ impl<'a> MonteCarloYield<'a> {
         // independent and evaluated across the worker pool; results come
         // back in sample order, keeping the estimate bit-identical to the
         // serial loop for a given seed.
+        let _mc_span = fbb_telemetry::span("mc_estimate");
         let dcrits = fbb_sta::par::parallel_gen(samples, |s| {
             let die = variation.sample(seed.wrapping_add(s as u64), &positions, extent);
             let delays = die.apply(self.nominal_delays);
@@ -73,9 +74,21 @@ impl<'a> MonteCarloYield<'a> {
         });
         let mut betas = Vec::with_capacity(samples);
         let mut pass = 0usize;
+        let telemetry = fbb_telemetry::is_enabled();
+        if telemetry {
+            fbb_telemetry::counter("mc_runs", 1);
+            fbb_telemetry::counter("mc_samples", samples as u64);
+        }
         for dcrit in dcrits {
             if dcrit <= clock_ps {
                 pass += 1;
+            }
+            if telemetry {
+                // Per-die observations happen here, after the parallel
+                // collect returned results in sample order, so the
+                // distributions are deterministic for a fixed seed.
+                fbb_telemetry::record("mc_die_dcrit_ps", dcrit);
+                fbb_telemetry::record("mc_die_beta", (dcrit / nominal_dcrit - 1.0).max(0.0));
             }
             betas.push((dcrit / nominal_dcrit - 1.0).max(0.0));
         }

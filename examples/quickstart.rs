@@ -11,6 +11,13 @@ use fbb::netlist::generators;
 use fbb::placement::{Placer, PlacerOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Optional: FBB_TELEMETRY=<path> collects solver/STA counters during the
+    // run and writes them to <path> as flat JSON (see DESIGN.md).
+    let telemetry_path = std::env::var("FBB_TELEMETRY").ok();
+    if telemetry_path.is_some() {
+        fbb::telemetry::enable();
+    }
+
     // 1. A design: a 64-bit ripple-carry adder (generators provide ISCAS-like
     //    circuits; bring your own netlist via fbb::netlist::fmt::from_str).
     let netlist = generators::ripple_adder("adder64", 64, false)?;
@@ -62,5 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("r{row}={} ", ladder.level(level));
     }
     println!();
+
+    if let Some(path) = telemetry_path {
+        let snap = fbb::telemetry::snapshot();
+        snap.save_flat_json(std::path::Path::new(&path))?;
+        println!("\n{}", snap.summary());
+        println!("telemetry written to {path}");
+    }
     Ok(())
 }

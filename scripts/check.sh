@@ -2,11 +2,26 @@
 # CI gate: everything a PR must keep green.
 #   - release build of the whole workspace
 #   - unit + integration + property + doc tests
+#   - clippy clean under -D warnings
 #   - rustdoc builds warning-free (RUSTDOCFLAGS turns warnings into errors)
+#   - telemetry smoke: quickstart emits a snapshot that parses as JSON
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+tel_json=$(mktemp /tmp/fbb_telemetry_smoke.XXXXXX.json)
+trap 'rm -f "$tel_json"' EXIT
+FBB_TELEMETRY="$tel_json" cargo run --release --example quickstart > /dev/null
+python3 - "$tel_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+assert snap.get("lp_simplex_solves", 0) > 0, "no simplex counters in snapshot"
+assert all(isinstance(v, (int, float)) for v in snap.values()), "non-numeric value"
+print(f"telemetry smoke: {len(snap)} keys, JSON OK")
+EOF
 echo "check.sh: all green"

@@ -9,6 +9,7 @@
 //! Netlist files ending in `.bench` use the ISCAS format; anything else uses
 //! the native text format (`fbb::netlist::fmt`).
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -17,7 +18,8 @@ use fbb::device::{BiasLadder, BodyBiasModel, Library};
 use fbb::netlist::{bench_fmt, fmt as nl_fmt, suite, GateId, Netlist};
 use fbb::placement::layout::{self, LayoutOptions};
 use fbb::placement::{Placer, PlacerOptions};
-use fbb::sta::TimingGraph;
+use fbb::sta::{IncrementalSta, RowMap, TimingGraph};
+use fbb::variation::{MonteCarloYield, ProcessVariation};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -50,18 +52,35 @@ fn usage() -> &'static str {
      fbb generate --design <table1-name|adder:W|multiplier:W|alu:W> [--out FILE]\n  \
      fbb sta --netlist FILE [--beta 0.05]\n  \
      fbb solve --netlist FILE [--rows N] [--beta 0.05] [--clusters 3]\n            \
-     [--ilp] [--ilp-time-limit SECS] [--layout] [--cleanup PCT]\n\n\
+     [--ilp] [--ilp-time-limit SECS] [--layout] [--cleanup PCT]\n            \
+     [--mc SAMPLES]\n\n\
+     Any command also accepts --telemetry FILE: solver/STA/Monte-Carlo\n\
+     counters are collected during the run, written to FILE as flat JSON,\n\
+     and summarized on stderr.\n\n\
      *.bench files use the ISCAS format; others use the native format."
 }
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let telemetry_path = arg_value(&args, "--telemetry");
+    if telemetry_path.is_some() {
+        fbb::telemetry::reset();
+        fbb::telemetry::enable();
+    }
+    let result = match args.first().map(String::as_str) {
         Some("generate") => generate(&args),
         Some("sta") => sta(&args),
         Some("solve") => solve(&args),
         _ => Err(usage().to_owned()),
+    };
+    if let Some(path) = telemetry_path {
+        let snap = fbb::telemetry::snapshot();
+        snap.save_flat_json(Path::new(&path))
+            .map_err(|e| format!("cannot write telemetry to {path}: {e}"))?;
+        eprintln!("\n{}", snap.summary());
+        eprintln!("telemetry written to {path}");
     }
+    result
 }
 
 fn generate(args: &[String]) -> Result<(), String> {
@@ -213,25 +232,64 @@ fn solve(args: &[String]) -> Result<(), String> {
         println!("\n{art}");
     }
 
-    // Independent verification: apply the biases and re-run STA.
+    fbb::telemetry::record("cli_solution_leakage_nw", sol.leakage_nw);
+    fbb::telemetry::record("cli_solution_savings_pct", sol.savings_vs(&baseline));
+
+    // Independent verification: apply the biases to the degraded die and
+    // re-time. Seeding the incremental engine with the degraded delays and
+    // invalidating only the biased rows exercises the cone-limited re-timing
+    // path, which is bit-identical to a from-scratch analyze of the tuned
+    // delays.
     let graph = TimingGraph::new(&nl).map_err(|e| e.to_string())?;
-    let tuned: Vec<f64> = nl
-        .gates()
-        .iter()
-        .enumerate()
-        .map(|(i, g)| {
-            let row = placement.row_of(GateId::from_index(i)).index();
-            chara.delay_ps(g.cell, 0) * (1.0 + beta)
-                * (1.0 - chara.speedup_fraction(sol.assignment[row]))
-        })
-        .collect();
-    let tuned_dcrit = graph.analyze(&tuned).dcrit_ps();
+    let degraded: Vec<f64> =
+        nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0) * (1.0 + beta)).collect();
+    let row_of: Vec<usize> =
+        (0..nl.gate_count()).map(|i| placement.row_of(GateId::from_index(i)).index()).collect();
+    let mut inc = IncrementalSta::with_rows(&graph, &degraded, RowMap::new(&row_of));
+    let mut dirty_rows = Vec::new();
+    {
+        let delays = inc.delays_mut();
+        for (i, &base) in degraded.iter().enumerate() {
+            let tuned = base * (1.0 - chara.speedup_fraction(sol.assignment[row_of[i]]));
+            if tuned.to_bits() != delays[i].to_bits() {
+                delays[i] = tuned;
+                dirty_rows.push(row_of[i]);
+            }
+        }
+    }
+    dirty_rows.sort_unstable();
+    dirty_rows.dedup();
+    inc.invalidate_rows(&dirty_rows);
+    let tuned_dcrit = inc.retime();
     println!(
-        "verification: biased degraded Dcrit = {:.1} ps vs target {:.1} ps ({})",
+        "verification: biased degraded Dcrit = {:.1} ps vs target {:.1} ps ({}; retimed {} nodes)",
         tuned_dcrit,
         pre.dcrit_ps,
-        if tuned_dcrit <= pre.dcrit_ps * 1.002 { "met" } else { "VIOLATED" }
+        if tuned_dcrit <= pre.dcrit_ps * 1.002 { "met" } else { "VIOLATED" },
+        inc.last_retimed_nodes()
     );
+
+    // Monte-Carlo yield of the uncompensated die population. On by default
+    // (32 dies) when telemetry is collected, opt-in via --mc otherwise.
+    let mc_samples: usize = arg_value(args, "--mc")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if fbb::telemetry::is_enabled() { 32 } else { 0 });
+    if mc_samples > 0 {
+        let nominal: Vec<f64> =
+            nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0)).collect();
+        let mc = MonteCarloYield::new(&nl, &placement, &nominal);
+        let est = mc
+            .estimate(&ProcessVariation::slow_corner_45nm(), pre.dcrit_ps, mc_samples, 42)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "monte carlo : {} dies at clock {:.1} ps: yield {:.1}%, beta mean {:.2}% / p95 {:.2}%",
+            est.samples,
+            pre.dcrit_ps,
+            est.yield_fraction * 100.0,
+            est.beta_mean * 100.0,
+            est.beta_p95 * 100.0
+        );
+    }
     Ok(())
 }
 

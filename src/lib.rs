@@ -9,6 +9,7 @@
 //! * [`lp`] — LP/MILP solver
 //! * [`variation`] — process variation, temperature, and aging models
 //! * [`core`] — the paper's clustered-FBB allocation algorithms
+//! * [`telemetry`] — opt-in counters, distributions, and span timers
 
 #![forbid(unsafe_code)]
 
@@ -18,4 +19,5 @@ pub use fbb_lp as lp;
 pub use fbb_netlist as netlist;
 pub use fbb_placement as placement;
 pub use fbb_sta as sta;
+pub use fbb_telemetry as telemetry;
 pub use fbb_variation as variation;
