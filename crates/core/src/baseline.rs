@@ -14,7 +14,7 @@ use crate::{pass_one, ClusterSolution, FbbError, Preprocessed};
 /// Returns [`FbbError::Uncompensable`] when no ladder voltage compensates β.
 pub fn single_bb(pre: &Preprocessed) -> Result<ClusterSolution, FbbError> {
     let start = Instant::now();
-    let jopt = pass_one(pre).ok_or(FbbError::Uncompensable { beta: pre.beta })?;
+    let jopt = pass_one(pre).ok_or_else(|| FbbError::uncompensable(pre))?;
     Ok(ClusterSolution::from_assignment(
         pre,
         vec![jopt; pre.n_rows],

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::Preprocessed;
+
 /// Errors produced while building or solving an FBB allocation problem.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -20,7 +22,35 @@ pub enum FbbError {
     Uncompensable {
         /// The requested slowdown coefficient.
         beta: f64,
+        /// Index into [`Preprocessed::paths`] of the *worst* constraint —
+        /// the path with the largest residual shortfall when every row sits
+        /// at the top of the bias ladder. `None` only for degenerate
+        /// problems with an empty path set.
+        worst_path: Option<usize>,
+        /// That path's residual shortfall (ps) at the top of the ladder:
+        /// how far it still misses `Dcrit` under maximal compensation.
+        shortfall_ps: f64,
     },
+}
+
+impl FbbError {
+    /// Builds the [`FbbError::Uncompensable`] diagnosis for a problem whose
+    /// `PassOne` failed: identifies the path that misses `Dcrit` by the
+    /// widest margin with every row at the top ladder level.
+    pub(crate) fn uncompensable(pre: &Preprocessed) -> Self {
+        let top = pre.levels.saturating_sub(1);
+        let mut worst_path = None;
+        let mut shortfall_ps = 0.0f64;
+        for (k, path) in pre.paths.iter().enumerate() {
+            let reduction: f64 = path.rows.iter().map(|(_, reds)| reds[top]).sum();
+            let shortfall = path.required_reduction_ps - reduction;
+            if shortfall > shortfall_ps {
+                shortfall_ps = shortfall;
+                worst_path = Some(k);
+            }
+        }
+        FbbError::Uncompensable { beta: pre.beta, worst_path, shortfall_ps }
+    }
 }
 
 impl fmt::Display for FbbError {
@@ -30,11 +60,21 @@ impl fmt::Display for FbbError {
             FbbError::Placement(e) => write!(f, "placement error: {e}"),
             FbbError::Netlist(e) => write!(f, "netlist error: {e}"),
             FbbError::Solver(e) => write!(f, "solver error: {e}"),
-            FbbError::Uncompensable { beta } => write!(
-                f,
-                "no bias voltage on the ladder compensates a slowdown of {:.1}%",
-                beta * 100.0
-            ),
+            FbbError::Uncompensable { beta, worst_path, shortfall_ps } => {
+                write!(
+                    f,
+                    "no bias voltage on the ladder compensates a slowdown of {:.1}%",
+                    beta * 100.0
+                )?;
+                if let Some(k) = worst_path {
+                    write!(
+                        f,
+                        " (path {k} still misses Dcrit by {shortfall_ps:.1} ps at the top of \
+                         the ladder)"
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -74,11 +114,58 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = FbbError::Uncompensable { beta: 0.25 };
+        let e =
+            FbbError::Uncompensable { beta: 0.25, worst_path: Some(4), shortfall_ps: 12.34 };
         assert!(e.to_string().contains("25.0%"));
+        assert!(e.to_string().contains("path 4"));
+        assert!(e.to_string().contains("12.3 ps"));
         assert!(e.source().is_none());
         let e: FbbError = fbb_lp::LpError::IterationLimit.into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_without_path_diagnosis() {
+        let e = FbbError::Uncompensable { beta: 0.25, worst_path: None, shortfall_ps: 0.0 };
+        assert!(e.to_string().contains("25.0%"));
+        assert!(!e.to_string().contains("path"));
+    }
+
+    #[test]
+    fn uncompensable_diagnosis_picks_the_worst_path() {
+        use crate::PathConstraint;
+        // Two paths; at the top level (index 1) path 0 recovers 4 of 10 ps
+        // (shortfall 6) and path 1 recovers 8 of 9 ps (shortfall 1).
+        let pre = Preprocessed {
+            n_rows: 1,
+            levels: 2,
+            beta: 0.2,
+            max_clusters: 1,
+            dcrit_ps: 100.0,
+            row_leakage_nw: vec![vec![1.0, 2.0]],
+            row_criticality: vec![1.0],
+            paths: vec![
+                PathConstraint {
+                    degraded_delay_ps: 110.0,
+                    required_reduction_ps: 10.0,
+                    nominal_delay_ps: 91.0,
+                    rows: vec![(0, vec![0.0, 4.0])],
+                },
+                PathConstraint {
+                    degraded_delay_ps: 109.0,
+                    required_reduction_ps: 9.0,
+                    nominal_delay_ps: 90.0,
+                    rows: vec![(0, vec![0.0, 8.0])],
+                },
+            ],
+        };
+        match FbbError::uncompensable(&pre) {
+            FbbError::Uncompensable { worst_path, shortfall_ps, .. } => {
+                assert_eq!(worst_path, Some(0));
+                assert!((shortfall_ps - 6.0).abs() < 1e-9);
+            }
+            other => panic!("wrong variant: {other}"),
+        }
     }
 
     #[test]

@@ -136,7 +136,7 @@ impl TwoPassHeuristic {
     /// Returns [`FbbError::Uncompensable`] when `PassOne` fails.
     pub fn solve(&self, pre: &Preprocessed) -> Result<ClusterSolution, FbbError> {
         let start = Instant::now();
-        let jopt = pass_one(pre).ok_or(FbbError::Uncompensable { beta: pre.beta })?;
+        let jopt = pass_one(pre).ok_or_else(|| FbbError::uncompensable(pre))?;
         let assignment = self.pass_two(pre, jopt);
         let algorithm = match self.policy {
             DescentPolicy::MaxDrop => "heuristic",
@@ -163,7 +163,7 @@ impl TwoPassHeuristic {
     ) -> Result<ClusterSolution, FbbError> {
         let start = Instant::now();
         let jopt = pass_one_restricted(pre, allowed)
-            .ok_or(FbbError::Uncompensable { beta: pre.beta })?;
+            .ok_or_else(|| FbbError::uncompensable(pre))?;
         let assignment =
             par::parallel_gen(pre.max_clusters, |k| max_drop_restricted(pre, jopt, k + 1, Some(allowed)))
                 .into_iter()

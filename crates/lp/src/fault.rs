@@ -1,0 +1,118 @@
+//! Deterministic fault-injection hooks (feature `fault-inject`).
+//!
+//! The differential test harness in `fbb-testkit` needs two things from the
+//! solver that cannot be reached through the public API alone:
+//!
+//! 1. a way to force the rare exit paths (`LpError::IterationLimit`) without
+//!    constructing a numerically cycling instance, and
+//! 2. a way to plant a *known* bug — a flipped pivot sign — to prove the
+//!    harness actually catches solver defects instead of rubber-stamping.
+//!
+//! Both are thread-local toggles: a solve reads them once at entry, so they
+//! are race-free under the worker pool (each worker sees its own, unarmed,
+//! state) and deterministic (no wall-clock, no global mutation). When the
+//! feature is enabled but no hook is armed, every solve behaves exactly as
+//! without the feature — the hooks are read-only checks of thread-local
+//! `Cell`s outside the hot loop.
+//!
+//! These hooks exist for tests only. Arm them through the scoped helpers
+//! ([`with_iteration_limit`], [`with_flipped_pivot_sign`]) where possible;
+//! the raw setters are provided for CLI-driven soaks that keep a hook armed
+//! across many solves (`fbb difftest --inject-pivot-bug`).
+
+use std::cell::Cell;
+
+thread_local! {
+    static ITERATION_LIMIT_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static FLIP_PIVOT_SIGN: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Overrides the simplex iteration budget for subsequent solves on this
+/// thread (`None` restores the organic `50_000 + 40·(n+m)` budget).
+pub fn set_iteration_limit_override(limit: Option<usize>) {
+    ITERATION_LIMIT_OVERRIDE.with(|c| c.set(limit));
+}
+
+/// Arms or disarms the flipped-pivot-sign bug for subsequent solves on this
+/// thread. While armed, phase 2 prices every column with the negated reduced
+/// cost — the solver walks *away* from the optimum and terminates at an
+/// anti-optimal vertex that it confidently labels `Optimal`. This is the
+/// harness's planted defect: an independent oracle must flag it.
+pub fn set_flip_pivot_sign(armed: bool) {
+    FLIP_PIVOT_SIGN.with(|c| c.set(armed));
+}
+
+/// Disarms every hook on this thread.
+pub fn reset() {
+    set_iteration_limit_override(None);
+    set_flip_pivot_sign(false);
+}
+
+/// Runs `f` with the iteration budget overridden, restoring the previous
+/// override afterwards (also on unwind via the drop guard).
+pub fn with_iteration_limit<T>(limit: usize, f: impl FnOnce() -> T) -> T {
+    let previous = ITERATION_LIMIT_OVERRIDE.with(Cell::get);
+    let _guard = RestoreIterLimit(previous);
+    set_iteration_limit_override(Some(limit));
+    f()
+}
+
+/// Runs `f` with the flipped-pivot-sign bug armed, restoring the previous
+/// state afterwards (also on unwind via the drop guard).
+pub fn with_flipped_pivot_sign<T>(f: impl FnOnce() -> T) -> T {
+    let previous = FLIP_PIVOT_SIGN.with(Cell::get);
+    let _guard = RestoreFlip(previous);
+    set_flip_pivot_sign(true);
+    f()
+}
+
+struct RestoreIterLimit(Option<usize>);
+impl Drop for RestoreIterLimit {
+    fn drop(&mut self) {
+        set_iteration_limit_override(self.0);
+    }
+}
+
+struct RestoreFlip(bool);
+impl Drop for RestoreFlip {
+    fn drop(&mut self) {
+        set_flip_pivot_sign(self.0);
+    }
+}
+
+pub(crate) fn iteration_limit_override() -> Option<usize> {
+    ITERATION_LIMIT_OVERRIDE.with(Cell::get)
+}
+
+pub(crate) fn flip_pivot_sign() -> bool {
+    FLIP_PIVOT_SIGN.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_helpers_restore_state() {
+        assert_eq!(iteration_limit_override(), None);
+        with_iteration_limit(3, || {
+            assert_eq!(iteration_limit_override(), Some(3));
+            with_iteration_limit(7, || assert_eq!(iteration_limit_override(), Some(7)));
+            assert_eq!(iteration_limit_override(), Some(3));
+        });
+        assert_eq!(iteration_limit_override(), None);
+
+        assert!(!flip_pivot_sign());
+        with_flipped_pivot_sign(|| assert!(flip_pivot_sign()));
+        assert!(!flip_pivot_sign());
+    }
+
+    #[test]
+    fn reset_disarms_everything() {
+        set_iteration_limit_override(Some(1));
+        set_flip_pivot_sign(true);
+        reset();
+        assert_eq!(iteration_limit_override(), None);
+        assert!(!flip_pivot_sign());
+    }
+}

@@ -39,6 +39,8 @@
 
 mod bnb;
 mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod model;
 mod simplex;
 

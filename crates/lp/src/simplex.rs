@@ -406,7 +406,12 @@ pub fn solve_lp_with_bounds(
         bland_activations: 0,
         bland_active: false,
     };
-    let iter_limit = 50_000 + 40 * (n + m);
+    #[allow(unused_mut)]
+    let mut iter_limit = 50_000 + 40 * (n + m);
+    #[cfg(feature = "fault-inject")]
+    if let Some(forced) = crate::fault::iteration_limit_override() {
+        iter_limit = forced;
+    }
 
     // Phase 1: minimize the artificial sum.
     let mut c1 = vec![0.0; ntot];
@@ -455,6 +460,17 @@ pub fn solve_lp_with_bounds(
     let mut c2 = vec![0.0; ntot];
     for (j, v) in model.vars.iter().enumerate() {
         c2[j] = v.objective;
+    }
+    // Planted defect for the differential harness: pricing with the negated
+    // cost vector negates every phase-2 reduced cost, so the simplex pivots
+    // in the wrong direction and reports an anti-optimal vertex as Optimal.
+    // The final `objective` is still evaluated against the true model costs,
+    // which is what lets an independent oracle expose the lie.
+    #[cfg(feature = "fault-inject")]
+    if crate::fault::flip_pivot_sign() {
+        for v in &mut c2 {
+            *v = -*v;
+        }
     }
     let bounded = match tab.optimize(&c2, iter_limit, deadline) {
         Ok(b) => b,

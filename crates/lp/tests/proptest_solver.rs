@@ -1,4 +1,8 @@
 //! Property tests: the solver against brute-force ground truth.
+//!
+//! Inputs are seeded per test name and case index; set the workspace-wide
+//! `FBB_TEST_SEED` environment variable to re-roll every stream
+//! reproducibly (failures print the active seed).
 
 use fbb_lp::{solve_lp, solve_mip, LpStatus, MipOptions, MipStatus, Model, Sense};
 use proptest::prelude::*;

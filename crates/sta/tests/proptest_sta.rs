@@ -1,5 +1,9 @@
 //! Property tests: STA against exhaustive path enumeration on small random
 //! DAGs, and structural invariants on larger ones.
+//!
+//! Inputs are seeded per test name and case index; set the workspace-wide
+//! `FBB_TEST_SEED` environment variable to re-roll every stream
+//! reproducibly (failures print the active seed).
 
 use fbb_netlist::generators::{random_logic, RandomLogicOptions};
 use fbb_netlist::{GateId, Netlist};

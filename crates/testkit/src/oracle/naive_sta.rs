@@ -1,0 +1,174 @@
+//! Naive queue-based topological STA oracle.
+//!
+//! Re-derives arrival times and the critical delay directly from the
+//! [`fbb_netlist::Netlist`] public API with Kahn's algorithm — no levelized
+//! graph, no shared code with `fbb_sta`. Because each gate's arrival is one
+//! `f64` addition on top of an order-independent max, the oracle's numbers
+//! are *bit-identical* to `TimingGraph::analyze` on any acyclic netlist,
+//! which is exactly what the differential harness asserts.
+//!
+//! Semantics mirrored here (restated, not imported):
+//!
+//! * flip-flops are timing boundaries: their Q arrival is their clk→Q delay
+//!   and their own `arrival` entry stays `0.0`;
+//! * a combinational gate's arrival is `delays[i]` plus the max over its
+//!   distinct combinational fanin arrivals and distinct sequential fanin
+//!   clk→Q delays (floored at `0.0`);
+//! * endpoints are combinational gates that drive a primary output, drive a
+//!   DFF D pin, or have no combinational fanout;
+//! * `dcrit` is the max endpoint arrival, folded from `0.0`.
+
+use std::collections::VecDeque;
+
+use fbb_netlist::Netlist;
+
+/// Arrival times and critical delay computed by the naive oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveSta {
+    /// Arrival at each gate's output, indexed by `GateId::index()`.
+    /// Sequential gates keep `0.0` (their Q launch is read from `delays`).
+    pub arrival_ps: Vec<f64>,
+    /// Critical delay: max arrival over all endpoints.
+    pub dcrit_ps: f64,
+}
+
+/// Runs the naive STA.
+///
+/// # Panics
+///
+/// Panics if `delays.len() != netlist.gate_count()` or if the combinational
+/// part of the netlist contains a cycle (the queue fails to drain).
+pub fn analyze(netlist: &Netlist, delays: &[f64]) -> NaiveSta {
+    let n = netlist.gate_count();
+    assert_eq!(delays.len(), n, "one delay per gate required");
+
+    // Distinct combinational fanin drivers and combinational fanout sinks,
+    // derived gate by gate from the net tables.
+    let mut comb_fanin: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut comb_fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut seq_fanin: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, gate) in netlist.iter_gates() {
+        let i = id.index();
+        for &input in &gate.inputs {
+            let Some(driver) = netlist.net(input).driver else {
+                continue; // primary input: arrives at 0.
+            };
+            let d = driver.index();
+            if netlist.gate(driver).cell.kind.is_sequential() {
+                if !seq_fanin[i].contains(&d) {
+                    seq_fanin[i].push(d);
+                }
+            } else {
+                if !comb_fanin[i].contains(&d) {
+                    comb_fanin[i].push(d);
+                }
+                if !gate.cell.kind.is_sequential() && !comb_fanout[d].contains(&i) {
+                    comb_fanout[d].push(i);
+                }
+            }
+        }
+    }
+
+    let is_comb: Vec<bool> =
+        netlist.gates().iter().map(|g| !g.cell.kind.is_sequential()).collect();
+
+    // Kahn's algorithm over the combinational gates.
+    let mut indegree: Vec<usize> = (0..n)
+        .map(|i| if is_comb[i] { comb_fanin[i].len() } else { 0 })
+        .collect();
+    let mut queue: VecDeque<usize> =
+        (0..n).filter(|&i| is_comb[i] && indegree[i] == 0).collect();
+    let mut arrival = vec![0.0f64; n];
+    let mut visited = 0usize;
+    while let Some(i) = queue.pop_front() {
+        visited += 1;
+        let mut best = 0.0f64;
+        for &p in &comb_fanin[i] {
+            if arrival[p] > best {
+                best = arrival[p];
+            }
+        }
+        for &ff in &seq_fanin[i] {
+            if delays[ff] > best {
+                best = delays[ff];
+            }
+        }
+        arrival[i] = best + delays[i];
+        for &s in &comb_fanout[i] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    let comb_total = is_comb.iter().filter(|&&c| c).count();
+    assert_eq!(visited, comb_total, "combinational cycle: queue failed to drain");
+
+    // Endpoints: drives a PO, drives a DFF D pin, or has no comb fanout.
+    let mut is_endpoint = vec![false; n];
+    for &out in netlist.outputs() {
+        if let Some(driver) = netlist.net(out).driver {
+            if is_comb[driver.index()] {
+                is_endpoint[driver.index()] = true;
+            }
+        }
+    }
+    for (_, gate) in netlist.iter_gates() {
+        if gate.cell.kind.is_sequential() {
+            for &input in &gate.inputs {
+                if let Some(driver) = netlist.net(input).driver {
+                    if is_comb[driver.index()] {
+                        is_endpoint[driver.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        if is_comb[i] && comb_fanout[i].is_empty() {
+            is_endpoint[i] = true;
+        }
+    }
+
+    let dcrit_ps = (0..n)
+        .filter(|&i| is_endpoint[i])
+        .map(|i| arrival[i])
+        .fold(0.0f64, f64::max);
+
+    NaiveSta { arrival_ps: arrival, dcrit_ps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbb_netlist::generators;
+
+    #[test]
+    fn chain_arithmetic_by_hand() {
+        // An 2-bit ripple adder is small enough that the critical path is
+        // just the longest gate chain; uniform delays make it countable.
+        let nl = generators::ripple_adder("a2", 2, false).unwrap();
+        let delays = vec![10.0; nl.gate_count()];
+        let out = analyze(&nl, &delays);
+        // Longest chain length in gates = dcrit / 10.
+        let depth = (out.dcrit_ps / 10.0).round() as usize;
+        assert!(depth >= 2, "a ripple carry chain is at least two gates deep");
+        assert!(out.arrival_ps.iter().all(|&a| a >= 0.0));
+    }
+
+    #[test]
+    fn registered_designs_use_clk_to_q_as_launch() {
+        let nl = generators::ripple_adder("a4r", 4, true).unwrap();
+        assert!(nl.dff_count() > 0);
+        let mut delays = vec![5.0; nl.gate_count()];
+        let base = analyze(&nl, &delays).dcrit_ps;
+        // Slowing every flop's clk->Q must not *decrease* the critical delay.
+        for (id, gate) in nl.iter_gates() {
+            if gate.cell.kind.is_sequential() {
+                delays[id.index()] = 50.0;
+            }
+        }
+        let slowed = analyze(&nl, &delays).dcrit_ps;
+        assert!(slowed >= base);
+    }
+}

@@ -1,0 +1,70 @@
+//! Bounded differential suites: every production engine against every
+//! independent oracle, plus the planted-defect drill that proves the
+//! harness has teeth.
+//!
+//! The long-soak entry point is `fbb difftest --cases N --seed S`; these
+//! suites keep the case counts small enough for the tier-1 test gate.
+
+use fbb_testkit::{diff, DiffRunner};
+
+/// Suite seed. Distinct per layer below only via the layer tags that
+/// `diff` mixes in itself.
+const SEED: u64 = 0xD1FF;
+
+#[test]
+fn lp_layer_matches_dense_simplex() {
+    for case in 0..64 {
+        diff::check_lp_case(SEED, case)
+            .unwrap_or_else(|e| panic!("lp case {case} (seed {SEED:#x}): {e}"));
+    }
+}
+
+#[test]
+fn cluster_layer_matches_enumerator() {
+    for case in 0..48 {
+        diff::check_cluster_case(SEED, case, 0.6)
+            .unwrap_or_else(|e| panic!("cluster case {case} (seed {SEED:#x}): {e}"));
+    }
+}
+
+#[test]
+fn sta_layer_is_bit_identical_to_naive_oracle() {
+    for case in 0..32 {
+        diff::check_sta_case(SEED, case)
+            .unwrap_or_else(|e| panic!("sta case {case} (seed {SEED:#x}): {e}"));
+    }
+}
+
+#[test]
+fn fault_layer_passes_on_healthy_engines() {
+    for case in 0..16 {
+        diff::check_fault_case(SEED, case)
+            .unwrap_or_else(|e| panic!("fault case {case} (seed {SEED:#x}): {e}"));
+    }
+}
+
+#[test]
+fn full_runner_reports_clean_and_counts_cases() {
+    let report = DiffRunner::new(12, 99).run();
+    assert!(report.is_clean(), "unexpected mismatches:\n{}", report.failures.join("\n"));
+    assert_eq!(report.cases, 12);
+    assert!(report.summary().contains("12 cases"));
+}
+
+/// The harness must *detect* defects, not just bless healthy engines: with
+/// the flipped-pivot-sign bug armed (the `fault-inject` feature's planted
+/// defect), the LP layer has to flag a mismatch within 64 cases.
+#[test]
+fn injected_pivot_sign_bug_is_caught_within_64_cases() {
+    let first_caught = fbb_lp::fault::with_flipped_pivot_sign(|| {
+        (0..64).find(|&case| diff::check_lp_case(SEED, case).is_err())
+    });
+    assert!(
+        first_caught.is_some(),
+        "flipped pivot sign survived 64 differential cases undetected"
+    );
+    // And the very same cases must be clean once the fault is disarmed.
+    let case = first_caught.unwrap();
+    diff::check_lp_case(SEED, case)
+        .expect("case must pass with the fault disarmed");
+}

@@ -1,0 +1,76 @@
+//! Fault-plan behavior across seeds, and the scoping contract of the
+//! `fault-inject` hooks themselves.
+
+use fbb_lp::{solve_lp, LpError, LpStatus, Model, Sense};
+use fbb_testkit::FaultPlan;
+
+fn small_model() -> Model {
+    let mut m = Model::new();
+    m.add_continuous(0.0, 3.0, -1.0);
+    m.add_continuous(0.0, 3.0, -2.0);
+    m.add_constraint(vec![(0, 1.0), (1, 1.0)], Sense::Le, 4.0).expect("valid");
+    m
+}
+
+#[test]
+fn fault_plans_pass_on_healthy_engines_across_seeds() {
+    for seed in 0..12u64 {
+        FaultPlan::from_seed(seed)
+            .execute()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn plans_with_equal_seeds_execute_identically() {
+    let a = FaultPlan::from_seed(123);
+    let b = FaultPlan::from_seed(123);
+    assert_eq!(a.faults(), b.faults());
+    assert_eq!(a.execute(), b.execute());
+}
+
+#[test]
+fn iteration_limit_hook_is_scoped_and_restores_state() {
+    let model = small_model();
+    // Armed: the solve dies on the iteration budget.
+    let inner = fbb_lp::fault::with_iteration_limit(0, || solve_lp(&model));
+    assert!(matches!(inner, Err(LpError::IterationLimit)));
+    // Disarmed automatically on scope exit: the same solve succeeds.
+    let after = solve_lp(&model).expect("hook must not leak out of its scope");
+    assert_eq!(after.status, LpStatus::Optimal);
+}
+
+#[test]
+fn iteration_limit_hook_restores_on_panic() {
+    let result = std::panic::catch_unwind(|| {
+        fbb_lp::fault::with_iteration_limit(0, || panic!("boom"));
+    });
+    assert!(result.is_err());
+    // The drop guard must have disarmed the override despite the unwind.
+    let after = solve_lp(&small_model()).expect("override leaked across a panic");
+    assert_eq!(after.status, LpStatus::Optimal);
+}
+
+#[test]
+fn flipped_pivot_sign_inverts_the_reported_optimum() {
+    // min -x on [0, 3]: true optimum x=3, objective -3. With the planted
+    // defect armed the simplex prices with negated costs, walks to the
+    // anti-optimal vertex x=0, and still stamps the result Optimal — the
+    // exact lie the differential harness exists to catch.
+    let mut m = Model::new();
+    m.add_continuous(0.0, 3.0, -1.0);
+    m.add_constraint(vec![(0, 1.0)], Sense::Le, 3.0).expect("valid");
+
+    let honest = solve_lp(&m).expect("solvable");
+    assert_eq!(honest.status, LpStatus::Optimal);
+    assert!((honest.objective + 3.0).abs() < 1e-9);
+
+    let lying = fbb_lp::fault::with_flipped_pivot_sign(|| solve_lp(&m)).expect("still solves");
+    assert_eq!(lying.status, LpStatus::Optimal, "the defect lies about status");
+    assert!(
+        (lying.objective - honest.objective).abs() > 1.0,
+        "flipped pricing must move the reported optimum (got {} vs {})",
+        lying.objective,
+        honest.objective
+    );
+}

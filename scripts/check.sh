@@ -4,6 +4,9 @@
 #   - unit + integration + property + doc tests
 #   - clippy clean under -D warnings
 #   - rustdoc builds warning-free (RUSTDOCFLAGS turns warnings into errors)
+#   - testkit gate: the differential-oracle suites in crates/testkit
+#   - difftest smoke: a clean run passes AND an armed pivot-sign defect
+#     is actually caught (guards the harness against going blind)
 #   - telemetry smoke: quickstart emits a snapshot that parses as JSON
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,6 +15,19 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Differential-testing gate: oracles vs engines, plus fault-injection suites.
+cargo test -q -p fbb-testkit
+
+# Clean difftest must pass…
+cargo run --release --quiet -- difftest --cases 64 --seed 7
+# …and the harness must catch a planted solver bug (expect exit code 4).
+if cargo run --release --quiet -- difftest --cases 64 --seed 7 --inject-pivot-bug \
+    > /dev/null 2>&1; then
+    echo "check.sh: difftest FAILED to catch the injected pivot-sign bug" >&2
+    exit 1
+fi
+echo "difftest smoke: clean run green, injected defect caught"
 
 tel_json=$(mktemp /tmp/fbb_telemetry_smoke.XXXXXX.json)
 trap 'rm -f "$tel_json"' EXIT

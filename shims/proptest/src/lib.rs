@@ -40,8 +40,26 @@ pub mod test_runner {
         }
     }
 
-    /// Deterministic per-case RNG: seeded from the test name and case index
-    /// so each test sees a stable, independent stream.
+    /// Workspace-wide property-test seed, read once from the
+    /// `FBB_TEST_SEED` environment variable (default 0). Every
+    /// [`TestRng::for_case`] stream is XOR-perturbed by it, so
+    /// `FBB_TEST_SEED=12345 cargo test` re-runs every property suite on a
+    /// fresh but fully reproducible input set. Failure messages from
+    /// [`proptest!`](crate::proptest) include the active seed.
+    pub fn global_seed() -> u64 {
+        use std::sync::OnceLock;
+        static SEED: OnceLock<u64> = OnceLock::new();
+        *SEED.get_or_init(|| {
+            std::env::var("FBB_TEST_SEED")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(0)
+        })
+    }
+
+    /// Deterministic per-case RNG: seeded from the test name, the case
+    /// index, and [`global_seed`] so each test sees a stable, independent
+    /// stream that the whole workspace can re-roll via `FBB_TEST_SEED`.
     #[derive(Debug, Clone)]
     pub struct TestRng(ChaCha8Rng);
 
@@ -53,7 +71,7 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
-            TestRng(ChaCha8Rng::seed_from_u64(h ^ u64::from(case)))
+            TestRng(ChaCha8Rng::seed_from_u64(h ^ u64::from(case) ^ global_seed()))
         }
     }
 
@@ -249,8 +267,9 @@ macro_rules! proptest {
                         (move || { $body ::std::result::Result::Ok(()) })();
                     if let ::std::result::Result::Err(err) = outcome {
                         panic!(
-                            "proptest '{}' failed at case {}/{}: {}",
-                            stringify!($name), case, config.cases, err
+                            "proptest '{}' failed at case {}/{} (FBB_TEST_SEED={}): {}",
+                            stringify!($name), case, config.cases,
+                            $crate::test_runner::global_seed(), err
                         );
                     }
                 }

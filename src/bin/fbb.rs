@@ -4,22 +4,86 @@
 //! fbb generate --design c1355 --out c1355.bench        # emit a suite circuit
 //! fbb sta --netlist c1355.bench                        # timing report
 //! fbb solve --netlist c1355.bench --rows 13 --beta 0.05 --clusters 3 --ilp --layout
+//! fbb difftest --cases 256 --seed 1                    # cross-engine differential soak
 //! ```
 //!
 //! Netlist files ending in `.bench` use the ISCAS format; anything else uses
 //! the native text format (`fbb::netlist::fmt`).
+//!
+//! Exit codes are a machine-readable contract:
+//!
+//! * `0` — success (and, with `--require-optimal`, a proven optimum);
+//! * `1` — usage error or internal failure;
+//! * `2` — the instance is infeasible (uncompensable β);
+//! * `3` — a time/node budget expired without an optimality proof;
+//! * `4` — `difftest` found at least one engine/oracle mismatch.
 
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use fbb::core::{single_bb, FbbProblem, IlpAllocator, TwoPassHeuristic};
+use fbb::core::{single_bb, FbbError, FbbProblem, IlpAllocator, TwoPassHeuristic};
 use fbb::device::{BiasLadder, BodyBiasModel, Library};
 use fbb::netlist::{bench_fmt, fmt as nl_fmt, suite, GateId, Netlist};
 use fbb::placement::layout::{self, LayoutOptions};
 use fbb::placement::{Placer, PlacerOptions};
 use fbb::sta::{IncrementalSta, RowMap, TimingGraph};
 use fbb::variation::{MonteCarloYield, ProcessVariation};
+
+/// CLI outcome classes, each with a stable exit code (see the module docs).
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation or an internal error — exit 1.
+    Failure(String),
+    /// The allocation problem has no solution — exit 2.
+    Infeasible(String),
+    /// A solver budget expired without the requested proof — exit 3.
+    BudgetExpired(String),
+    /// The differential harness found engine/oracle disagreement — exit 4.
+    Mismatch(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Failure(_) => 1,
+            CliError::Infeasible(_) => 2,
+            CliError::BudgetExpired(_) => 3,
+            CliError::Mismatch(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Failure(m)
+            | CliError::Infeasible(m)
+            | CliError::BudgetExpired(m)
+            | CliError::Mismatch(m) => m,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Failure(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Failure(msg.to_owned())
+    }
+}
+
+/// Classifies an allocation error: uncompensable β is a property of the
+/// instance (exit 2, with the engine's worst-path diagnosis), everything
+/// else is an internal failure (exit 1).
+fn classify_fbb_error(e: FbbError) -> CliError {
+    match e {
+        FbbError::Uncompensable { .. } => CliError::Infeasible(format!("infeasible: {e}")),
+        other => CliError::Failure(other.to_string()),
+    }
+}
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -52,15 +116,19 @@ fn usage() -> &'static str {
      fbb generate --design <table1-name|adder:W|multiplier:W|alu:W> [--out FILE]\n  \
      fbb sta --netlist FILE [--beta 0.05]\n  \
      fbb solve --netlist FILE [--rows N] [--beta 0.05] [--clusters 3]\n            \
-     [--ilp] [--ilp-time-limit SECS] [--layout] [--cleanup PCT]\n            \
-     [--mc SAMPLES]\n\n\
+     [--ilp] [--ilp-time-limit SECS] [--require-optimal]\n            \
+     [--layout] [--cleanup PCT] [--mc SAMPLES]\n  \
+     fbb difftest [--cases 64] [--seed 0] [--gap-limit 0.6]\n\n\
      Any command also accepts --telemetry FILE: solver/STA/Monte-Carlo\n\
      counters are collected during the run, written to FILE as flat JSON,\n\
      and summarized on stderr.\n\n\
+     Exit codes: 0 ok, 1 usage/internal error, 2 infeasible instance,\n\
+     3 budget expired without an optimality proof (--require-optimal),\n\
+     4 difftest mismatch.\n\n\
      *.bench files use the ISCAS format; others use the native format."
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry_path = arg_value(&args, "--telemetry");
     if telemetry_path.is_some() {
@@ -68,19 +136,66 @@ fn run() -> Result<(), String> {
         fbb::telemetry::enable();
     }
     let result = match args.first().map(String::as_str) {
-        Some("generate") => generate(&args),
-        Some("sta") => sta(&args),
+        Some("generate") => generate(&args).map_err(CliError::from),
+        Some("sta") => sta(&args).map_err(CliError::from),
         Some("solve") => solve(&args),
-        _ => Err(usage().to_owned()),
+        Some("difftest") => difftest(&args),
+        _ => Err(CliError::Failure(usage().to_owned())),
     };
     if let Some(path) = telemetry_path {
         let snap = fbb::telemetry::snapshot();
         snap.save_flat_json(Path::new(&path))
-            .map_err(|e| format!("cannot write telemetry to {path}: {e}"))?;
+            .map_err(|e| CliError::Failure(format!("cannot write telemetry to {path}: {e}")))?;
         eprintln!("\n{}", snap.summary());
         eprintln!("telemetry written to {path}");
     }
     result
+}
+
+/// `fbb difftest` — run the cross-engine differential harness.
+///
+/// Per-layer mismatch totals land in telemetry (`difftest_*`); any mismatch
+/// exits with code 4. The hidden `--inject-pivot-bug` flag arms the
+/// `fault-inject` planted defect for the duration of the run — it exists so
+/// scripts (and `scripts/check.sh`) can prove the harness detects a real
+/// solver bug, and it must therefore *fail*.
+fn difftest(args: &[String]) -> Result<(), CliError> {
+    let cases: usize = arg_value(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let seed: u64 = arg_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let gap_limit: f64 =
+        arg_value(args, "--gap-limit").and_then(|v| v.parse().ok()).unwrap_or(0.6);
+    let config = fbb::testkit::DiffConfig {
+        cases,
+        seed,
+        greedy_gap_limit: gap_limit,
+        ..fbb::testkit::DiffConfig::default()
+    };
+    let runner = fbb::testkit::DiffRunner::with_config(config);
+    let report = if arg_flag(args, "--inject-pivot-bug") {
+        eprintln!("warning: pivot-sign defect armed; this run must report mismatches");
+        fbb::lp::fault::with_flipped_pivot_sign(|| runner.run())
+    } else {
+        runner.run()
+    };
+    println!("{}", report.summary());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        for failure in &report.failures {
+            eprintln!("mismatch: {failure}");
+        }
+        if report.total_mismatches() > report.failures.len() {
+            eprintln!(
+                "… and {} more (see telemetry difftest_* counters)",
+                report.total_mismatches() - report.failures.len()
+            );
+        }
+        Err(CliError::Mismatch(format!(
+            "difftest: {} mismatches over {} cases/layer (seed {seed})",
+            report.total_mismatches(),
+            cases
+        )))
+    }
 }
 
 fn generate(args: &[String]) -> Result<(), String> {
@@ -148,7 +263,7 @@ fn sta(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn solve(args: &[String]) -> Result<(), String> {
+fn solve(args: &[String]) -> Result<(), CliError> {
     let path = arg_value(args, "--netlist").ok_or("missing --netlist")?;
     let beta: f64 = arg_value(args, "--beta").and_then(|v| v.parse().ok()).unwrap_or(0.05);
     let clusters: usize =
@@ -177,13 +292,13 @@ fn solve(args: &[String]) -> Result<(), String> {
         pre.constraint_count()
     );
 
-    let baseline = single_bb(&pre).map_err(|e| e.to_string())?;
+    let baseline = single_bb(&pre).map_err(classify_fbb_error)?;
     println!(
         "\nsingle BB : level {:>2} everywhere            leakage {:>9.1} nW",
         baseline.assignment[0], baseline.leakage_nw
     );
 
-    let mut sol = TwoPassHeuristic::default().solve(&pre).map_err(|e| e.to_string())?;
+    let mut sol = TwoPassHeuristic::default().solve(&pre).map_err(classify_fbb_error)?;
     if let Some(pct) = arg_value(args, "--cleanup").and_then(|v| v.parse::<f64>().ok()) {
         let raised = sol.reduce_well_separations(&pre, pct);
         eprintln!("cleanup raised {raised} rows (budget {pct}%)");
@@ -202,18 +317,38 @@ fn solve(args: &[String]) -> Result<(), String> {
             .unwrap_or(120.0);
         let out = IlpAllocator::with_time_limit(Duration::from_secs_f64(limit))
             .solve(&pre)
-            .map_err(|e| e.to_string())?;
-        match out.solution {
-            Some(exact) => println!(
-                "ilp{}      : {} clusters, {} well seps    leakage {:>9.1} nW  ({:.2}% saved, {} nodes)",
-                if out.proven_optimal { "*" } else { " " },
+            .map_err(classify_fbb_error)?;
+        // Status wording is part of the CLI contract: the word "optimal"
+        // appears if and only if the branch & bound *proved* optimality. A
+        // limited solve reports its incumbent and residual gap instead.
+        match (&out.solution, out.proven_optimal) {
+            (Some(exact), true) => println!(
+                "ilp       : optimal (proven), {} clusters, {} well seps    leakage {:>9.1} nW  ({:.2}% saved, {} nodes)",
                 exact.clusters,
                 exact.well_separation_count(),
                 exact.leakage_nw,
                 exact.savings_vs(&baseline),
                 out.nodes
             ),
-            None => println!("ilp       : no solution within the time limit"),
+            (Some(exact), false) => println!(
+                "ilp       : time limit hit, best incumbent with gap {:.2}%, {} clusters    leakage {:>9.1} nW  ({:.2}% saved, {} nodes)",
+                out.gap * 100.0,
+                exact.clusters,
+                exact.leakage_nw,
+                exact.savings_vs(&baseline),
+                out.nodes
+            ),
+            (None, _) => println!("ilp       : no solution within the time limit"),
+        }
+        if arg_flag(args, "--require-optimal") && !out.proven_optimal {
+            return Err(CliError::BudgetExpired(format!(
+                "deadline: ILP budget ({limit}s) expired without an optimality proof (gap {})",
+                if out.gap.is_finite() {
+                    format!("{:.2}%", out.gap * 100.0)
+                } else {
+                    "unbounded".to_owned()
+                }
+            )));
         }
     }
 
@@ -296,9 +431,9 @@ fn solve(args: &[String]) -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("{}", err.message());
+            ExitCode::from(err.exit_code())
         }
     }
 }

@@ -10,6 +10,7 @@
 //! * [`variation`] — process variation, temperature, and aging models
 //! * [`core`] — the paper's clustered-FBB allocation algorithms
 //! * [`telemetry`] — opt-in counters, distributions, and span timers
+//! * [`testkit`] — independent oracles, differential harness, fault injection
 
 #![forbid(unsafe_code)]
 
@@ -20,4 +21,5 @@ pub use fbb_netlist as netlist;
 pub use fbb_placement as placement;
 pub use fbb_sta as sta;
 pub use fbb_telemetry as telemetry;
+pub use fbb_testkit as testkit;
 pub use fbb_variation as variation;

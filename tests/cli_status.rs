@@ -1,0 +1,112 @@
+//! The CLI exit-code and status-wording contract, exercised through the real
+//! `fbb` binary.
+//!
+//! Exit codes: 0 ok, 1 usage/internal error, 2 infeasible instance,
+//! 3 budget expired without an optimality proof, 4 difftest mismatch.
+//! Wording: "optimal" appears in solve output if and only if the branch &
+//! bound *proved* optimality.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fbb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fbb"))
+        .args(args)
+        .output()
+        .expect("fbb binary runs")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+fn text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// A 48-bit ripple adder written to a per-test temp file.
+fn adder_netlist(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("fbb_cli_status_{tag}_{}.nl", std::process::id()));
+    let out = fbb(&["generate", "--design", "adder:48", "--out", path.to_str().expect("utf8")]);
+    assert_eq!(code(&out), 0, "generate failed: {}", text(&out.stderr));
+    path
+}
+
+#[test]
+fn unknown_subcommand_exits_1_with_usage() {
+    let out = fbb(&["frobnicate"]);
+    assert_eq!(code(&out), 1);
+    assert!(text(&out.stderr).contains("usage:"), "stderr: {}", text(&out.stderr));
+}
+
+#[test]
+fn uncompensable_instance_exits_2_and_names_the_path() {
+    let nl = adder_netlist("infeasible");
+    let out = fbb(&[
+        "solve",
+        "--netlist",
+        nl.to_str().expect("utf8"),
+        "--beta",
+        "0.25",
+        "--rows",
+        "9",
+    ]);
+    let stderr = text(&out.stderr);
+    assert_eq!(code(&out), 2, "stderr: {stderr}");
+    assert!(stderr.contains("infeasible"), "stderr: {stderr}");
+    // The diagnosis must carry the *reason*: which path misses and by how much.
+    assert!(stderr.contains("path"), "stderr: {stderr}");
+    assert!(stderr.contains("misses Dcrit by"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(nl);
+}
+
+#[test]
+fn expired_ilp_budget_exits_3_and_never_claims_optimality() {
+    let nl = adder_netlist("budget");
+    let out = fbb(&[
+        "solve",
+        "--netlist",
+        nl.to_str().expect("utf8"),
+        "--rows",
+        "9",
+        "--ilp",
+        "--ilp-time-limit",
+        "0",
+        "--require-optimal",
+    ]);
+    let stdout = text(&out.stdout);
+    let stderr = text(&out.stderr);
+    assert_eq!(code(&out), 3, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stderr.contains("deadline"), "stderr: {stderr}");
+    assert!(
+        !stdout.contains("optimal"),
+        "a limited solve must not print 'optimal': {stdout}"
+    );
+    let _ = std::fs::remove_file(nl);
+}
+
+#[test]
+fn proven_ilp_solve_exits_0_and_says_proven() {
+    let nl = adder_netlist("proven");
+    let out = fbb(&["solve", "--netlist", nl.to_str().expect("utf8"), "--rows", "9", "--ilp"]);
+    let stdout = text(&out.stdout);
+    assert_eq!(code(&out), 0, "stderr: {}", text(&out.stderr));
+    assert!(stdout.contains("optimal (proven)"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(nl);
+}
+
+#[test]
+fn clean_difftest_exits_0() {
+    let out = fbb(&["difftest", "--cases", "4", "--seed", "9"]);
+    let stdout = text(&out.stdout);
+    assert_eq!(code(&out), 0, "stderr: {}", text(&out.stderr));
+    assert!(stdout.contains("0 mismatches"), "stdout: {stdout}");
+}
+
+#[test]
+fn injected_pivot_bug_exits_4_with_mismatch_details() {
+    let out = fbb(&["difftest", "--cases", "48", "--seed", "3", "--inject-pivot-bug"]);
+    let stderr = text(&out.stderr);
+    assert_eq!(code(&out), 4, "stdout: {}", text(&out.stdout));
+    assert!(stderr.contains("mismatch"), "stderr: {stderr}");
+}

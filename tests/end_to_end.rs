@@ -94,15 +94,41 @@ fn solutions_hold_up_under_independent_sta() {
     let _ = sol;
 }
 
+/// An uncompensable slowdown must not just fail — the error must say *which*
+/// path cannot be fixed and by how much, and that diagnosis must agree with
+/// the independent brute-force oracle's analysis of the same tables.
 #[test]
 fn uncompensable_slowdown_is_reported_not_mis_solved() {
+    use fbb::core::FbbError;
+    use fbb::testkit::oracle::enumerate;
+
     let (nl, placement, chara) = setup("adder");
     let pre = FbbProblem::new(&nl, &placement, &chara, 0.25, 3)
         .expect("valid")
         .preprocess()
         .expect("acyclic");
-    assert!(single_bb(&pre).is_err());
-    assert!(TwoPassHeuristic::default().solve(&pre).is_err());
+    let (oracle_path, oracle_shortfall) = enumerate::uncompensable_reason(&pre)
+        .expect("beta=0.25 exceeds what the ladder can recover on the adder");
+
+    for result in [single_bb(&pre), TwoPassHeuristic::default().solve(&pre)] {
+        match result {
+            Ok(sol) => panic!("uncompensable design mis-solved by {}", sol.algorithm),
+            Err(FbbError::Uncompensable { beta, worst_path, shortfall_ps }) => {
+                assert_eq!(beta, 0.25);
+                assert_eq!(
+                    worst_path,
+                    Some(oracle_path),
+                    "reported worst path disagrees with the oracle"
+                );
+                assert!(
+                    (shortfall_ps - oracle_shortfall).abs() <= 1e-6 * oracle_shortfall.abs(),
+                    "shortfall {shortfall_ps} ps vs oracle {oracle_shortfall} ps"
+                );
+                assert!(shortfall_ps > 0.0, "shortfall must be a positive miss");
+            }
+            Err(other) => panic!("expected Uncompensable, got: {other}"),
+        }
+    }
 }
 
 #[test]

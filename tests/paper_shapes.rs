@@ -100,6 +100,58 @@ fn extra_clusters_beyond_three_add_little() {
     );
 }
 
+/// One golden record per design: the numbers a refactor must not silently
+/// move. Formatting is pinned to 6 decimals so the files are byte-stable.
+fn golden_snapshot(name: &str) -> String {
+    let (nl, p, chara) = prepare(name);
+    let pre = FbbProblem::new(&nl, &p, &chara, 0.05, 3)
+        .expect("valid")
+        .preprocess()
+        .expect("acyclic");
+    let base = single_bb(&pre).expect("compensable");
+    let sol = TwoPassHeuristic::default().solve(&pre).expect("feasible");
+    assert!(sol.meets_timing);
+    format!(
+        "{{\n  \"design\": \"{name}\",\n  \"beta\": 0.05,\n  \"max_clusters\": 3,\n  \
+         \"jopt_nw\": {:.6},\n  \"clusters\": {},\n  \"leakage_ratio\": {:.6},\n  \
+         \"constraints\": {}\n}}\n",
+        sol.leakage_nw,
+        sol.clusters,
+        sol.leakage_nw / base.leakage_nw,
+        pre.constraint_count(),
+    )
+}
+
+#[test]
+fn golden_snapshots_match() {
+    // Regenerate with `UPDATE_GOLDENS=1 cargo test --test paper_shapes`.
+    let update = std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut drift = Vec::new();
+    for name in ["c1355", "c3540", "c5315"] {
+        let got = golden_snapshot(name);
+        let path = dir.join(format!("{name}.json"));
+        if update {
+            std::fs::create_dir_all(&dir).expect("golden dir");
+            std::fs::write(&path, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden {} ({e}); run with UPDATE_GOLDENS=1", path.display())
+        });
+        if got != want {
+            drift.push(format!(
+                "{name}: snapshot drifted\n--- recorded\n{want}--- computed\n{got}"
+            ));
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "{}\nIf the change is intentional, re-run with UPDATE_GOLDENS=1.",
+        drift.join("\n")
+    );
+}
+
 #[test]
 fn constraint_count_grows_with_beta_on_the_suite() {
     for name in ["c1355", "c3540", "c5315"] {
