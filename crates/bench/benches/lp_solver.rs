@@ -1,7 +1,14 @@
-//! Solver benchmarks: LP relaxations and MIP solves of FBB-shaped models.
+//! Solver benchmarks: LP relaxations and MIP solves of FBB-shaped models,
+//! plus the dense-vs-sparse and warm-vs-cold headline numbers merged into
+//! `BENCH_lp.json` at the workspace root (see EXPERIMENTS.md). The snapshot
+//! uses the same flat `{"key": number}` format as `BENCH_sta.json`, so the
+//! two files stay merge-compatible.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fbb_lp::{solve_lp, solve_mip, MipOptions, Model, Sense};
+use fbb_bench::report::{measure, workspace_file, BenchReport};
+use fbb_lp::{
+    solve_lp, solve_lp_dense, solve_mip, MipOptions, MipStatus, Model, Sense,
+};
 use std::hint::black_box;
 
 /// A synthetic FBB-shaped model: n rows x p levels assignment + coverage.
@@ -30,6 +37,25 @@ fn fbb_like_model(rows: usize, levels: usize, paths: usize) -> Model {
     m
 }
 
+/// The MIP variant: adds Eq.4-style cluster-open indicators and a cluster
+/// budget. The assignment-only model above is integral at the root; the
+/// budget makes the relaxation fractional, so branch & bound does real work
+/// and the warm-start path gets exercised.
+fn fbb_like_mip(rows: usize, levels: usize, paths: usize, max_clusters: usize) -> Model {
+    let mut m = fbb_like_model(rows, levels, paths);
+    // x[i][j] was added row-major first, so variable i*levels+j is x[i][j].
+    let y: Vec<usize> = (0..levels).map(|_| m.add_binary(0.0)).collect();
+    for (j, &yj) in y.iter().enumerate() {
+        m.set_branch_priority(yj, 10);
+        let mut terms: Vec<(usize, f64)> = (0..rows).map(|i| (i * levels + j, 1.0)).collect();
+        terms.push((yj, -(rows as f64)));
+        m.add_constraint(terms, Sense::Le, 0.0).expect("valid");
+    }
+    let budget = y.iter().map(|&v| (v, 1.0)).collect();
+    m.add_constraint(budget, Sense::Le, max_clusters as f64).expect("valid");
+    m
+}
+
 fn bench_lp(c: &mut Criterion) {
     let small = fbb_like_model(13, 11, 30);
     c.bench_function("lp_relaxation_13x11", |b| {
@@ -46,5 +72,83 @@ fn bench_lp(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lp);
+/// Dense-tableau vs sparse-revised LP relaxation at three FBB sizes, B&B
+/// throughput, and warm-vs-cold per-node simplex iterations. Snapshot goes
+/// to `BENCH_lp.json`.
+fn bench_lp_report(_c: &mut Criterion) {
+    let path = workspace_file("BENCH_lp.json");
+    let mut report = BenchReport::load(&path);
+
+    // LP relaxation: the dense two-phase tableau against the sparse revised
+    // engine on the same models. The acceptance floor is sparse >= 2x on
+    // the largest size.
+    let sizes: [(&str, usize, usize, usize); 3] =
+        [("small", 13, 11, 30), ("medium", 28, 11, 60), ("large", 56, 11, 120)];
+    let mut last_speedup = 0.0;
+    for (name, rows, levels, paths) in sizes {
+        let model = fbb_like_model(rows, levels, paths);
+        let dense = measure(9, 3, || {
+            black_box(solve_lp_dense(&model).expect("solves"));
+        });
+        let sparse = measure(9, 3, || {
+            black_box(solve_lp(&model).expect("solves"));
+        });
+        last_speedup = sparse.speedup_over(&dense);
+        println!(
+            "lp relaxation {name} ({rows}x{levels}, {paths} paths, {} vars x {} cons):",
+            model.var_count(),
+            model.constraint_count()
+        );
+        println!("  dense tableau       {:>12.0} ns/solve", dense.median_ns);
+        println!("  sparse revised      {:>12.0} ns/solve", sparse.median_ns);
+        println!("  sparse speedup      {last_speedup:>12.2}x");
+        report.set(&format!("lp_dense_ns_{name}"), dense.median_ns);
+        report.set(&format!("lp_sparse_ns_{name}"), sparse.median_ns);
+        report.set(&format!("lp_sparse_speedup_{name}"), last_speedup);
+    }
+    println!("largest-size sparse speedup {last_speedup:.2}x (acceptance floor: 2x)");
+
+    // B&B throughput and the warm-start effect. Telemetry records the
+    // simplex iterations every node costs; warm starts (child re-optimizes
+    // from the parent basis) should need fewer than cold two-phase solves
+    // of the same nodes.
+    let mip_model = fbb_like_mip(13, 11, 30, 3);
+    let warm_opts = MipOptions::default();
+    let cold_opts = MipOptions { warm_start: false, ..MipOptions::default() };
+
+    let probe = solve_mip(&mip_model, &warm_opts, None).expect("solves");
+    assert_eq!(probe.status, MipStatus::Optimal, "bench model must solve to optimality");
+    let nodes_per_solve = probe.nodes as f64;
+    let mip_time = measure(7, 3, || {
+        black_box(solve_mip(&mip_model, &warm_opts, None).expect("solves"));
+    });
+    let nodes_per_sec = nodes_per_solve / (mip_time.median_ns / 1e9);
+
+    let node_iters_mean = |opts: &MipOptions| {
+        fbb_telemetry::enable();
+        fbb_telemetry::reset();
+        solve_mip(&mip_model, opts, None).expect("solves");
+        let snap = fbb_telemetry::snapshot();
+        fbb_telemetry::disable();
+        snap.stat("bnb_node_simplex_iterations").map(|s| s.mean()).unwrap_or(f64::NAN)
+    };
+    let warm_iters = node_iters_mean(&warm_opts);
+    let cold_iters = node_iters_mean(&cold_opts);
+
+    println!("branch & bound on 13x11 / 30 paths / 3 clusters ({nodes_per_solve} nodes):");
+    println!("  throughput          {nodes_per_sec:>12.0} nodes/s");
+    println!("  warm-start iters    {warm_iters:>12.2} per node");
+    println!("  cold-start iters    {cold_iters:>12.2} per node");
+    println!("  iteration reduction {:>12.2}x", cold_iters / warm_iters);
+
+    report.set("bnb_nodes_per_solve", nodes_per_solve);
+    report.set("bnb_nodes_per_sec", nodes_per_sec);
+    report.set("bnb_warm_node_iters", warm_iters);
+    report.set("bnb_cold_node_iters", cold_iters);
+    report.set("bnb_warm_iter_reduction", cold_iters / warm_iters);
+    report.save(&path).expect("snapshot writable");
+    println!("snapshot merged into {}", path.display());
+}
+
+criterion_group!(benches, bench_lp, bench_lp_report);
 criterion_main!(benches);

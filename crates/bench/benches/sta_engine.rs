@@ -114,10 +114,20 @@ fn bench_speedups(_c: &mut Criterion) {
         black_box(mc.estimate(&pv, clock, 64, 42).expect("acyclic"));
     });
     let mc_speedup = mc_parallel.speedup_over(&mc_serial);
-    println!("monte carlo, 64 dies, {} worker threads:", par::threads());
+    // The pool sizes itself: 64 dies spread across at most
+    // 64 / MIN_JOBS_PER_WORKER workers, and on a single-CPU host it stays
+    // serial — in that case both measurements run the same code and the
+    // "speedup" is pure noise, so the snapshot records the worker count
+    // alongside it to make the comparison interpretable.
+    let mc_workers = par::worker_count(64);
+    println!("monte carlo, 64 dies, {} of {} budgeted workers:", mc_workers, par::threads());
     println!("  serial              {:>10.0} ns/run", mc_serial.median_ns);
     println!("  parallel            {:>10.0} ns/run", mc_parallel.median_ns);
-    println!("  parallel speedup    {mc_speedup:>10.2}x");
+    if mc_workers > 1 {
+        println!("  parallel speedup    {mc_speedup:>10.2}x");
+    } else {
+        println!("  parallel speedup    {mc_speedup:>10.2}x  (pool stayed serial; noise only)");
+    }
 
     let path = workspace_file("BENCH_sta.json");
     let mut report = BenchReport::load(&path);
@@ -129,6 +139,7 @@ fn bench_speedups(_c: &mut Criterion) {
     report.set("mc_serial_ns", mc_serial.median_ns);
     report.set("mc_parallel_ns", mc_parallel.median_ns);
     report.set("mc_parallel_speedup", mc_speedup);
+    report.set("mc_workers_used", mc_workers as f64);
     report.set("threads", par::threads() as f64);
     report.save(&path).expect("snapshot writable");
     println!("snapshot merged into {}", path.display());

@@ -94,6 +94,9 @@ impl IlpAllocator {
                     }
                 }
             }
+            // Strictly increasing indices hit the model's sorted fast path,
+            // and sorting here runs on the worker pool rather than serially.
+            terms.sort_unstable_by_key(|&(v, _)| v);
             terms
         });
         for (path, terms) in pre.paths.iter().zip(path_terms) {

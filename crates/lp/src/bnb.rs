@@ -1,13 +1,24 @@
-//! Best-first branch & bound over the LP relaxation.
+//! Best-first branch & bound over the LP relaxation, with warm-started
+//! node re-solves.
+//!
+//! One [`SparseEngine`] is built per tree and every explored node records
+//! its optimal basis; children inherit it (shared via `Rc`, since both
+//! siblings start from the same parent vertex) and re-optimize with the
+//! dual simplex after their single branching-bound change instead of
+//! running two-phase from scratch. Any warm-path bailout falls back to a
+//! cold solve of the same node, so warm-starting can only change *how* a
+//! relaxation is solved, never its answer.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use crate::model::VarKind;
-use crate::simplex::{solve_lp_with_bounds, LpStatus};
+use crate::revised::{Basis, SolveOutcome, SparseEngine};
+use crate::simplex::LpStatus;
 use crate::{LpError, Model};
 
 /// Branch-and-bound configuration.
@@ -22,11 +33,22 @@ pub struct MipOptions {
     pub rel_gap: f64,
     /// Integrality tolerance.
     pub int_tol: f64,
+    /// Warm-start child nodes from their parent's basis (dual simplex).
+    /// On by default; turning it off forces a cold two-phase solve per
+    /// node, which the equivalence tests and the benchmark use as the
+    /// comparison baseline.
+    pub warm_start: bool,
 }
 
 impl Default for MipOptions {
     fn default() -> Self {
-        MipOptions { time_limit: None, node_limit: None, rel_gap: 1e-6, int_tol: 1e-6 }
+        MipOptions {
+            time_limit: None,
+            node_limit: None,
+            rel_gap: 1e-6,
+            int_tol: 1e-6,
+            warm_start: true,
+        }
     }
 }
 
@@ -88,6 +110,9 @@ struct Node {
     bound: f64,
     lower: Vec<f64>,
     upper: Vec<f64>,
+    /// Parent's optimal basis, shared by both siblings; `None` at the root
+    /// (and below any node whose relaxation produced no basis).
+    basis: Option<Rc<Basis>>,
 }
 
 impl PartialEq for Node {
@@ -142,7 +167,12 @@ pub fn solve_mip(
     let root_upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
 
     let mut heap = BinaryHeap::new();
-    heap.push(Node { bound: f64::NEG_INFINITY, lower: root_lower, upper: root_upper });
+    heap.push(Node { bound: f64::NEG_INFINITY, lower: root_lower, upper: root_upper, basis: None });
+
+    // One engine for the whole tree: the constraint matrix is shared by
+    // every node (only variable bounds differ), which is exactly what makes
+    // parent-basis warm starts sound.
+    let mut engine = SparseEngine::new(model);
 
     let mut nodes = 0usize;
     let mut limit_hit = false;
@@ -152,6 +182,8 @@ pub fn solve_mip(
     let mut tel_infeasible = 0u64;
     let mut tel_branches = 0u64;
     let mut tel_incumbents = 0u64;
+    let mut tel_warm_starts = 0u64;
+    let mut tel_warm_fallbacks = 0u64;
 
     while let Some(node) = heap.pop() {
         if best_obj.is_finite() && node.bound.is_finite() {
@@ -184,7 +216,26 @@ pub fn solve_mip(
         nodes += 1;
 
         let deadline = options.time_limit.map(|tl| start + tl);
-        let relax = solve_lp_with_bounds(model, Some((&node.lower, &node.upper)), deadline)?;
+        // Warm-start from the parent basis when we have one; a warm-path
+        // bailout (`Ok(None)`) re-solves the same node cold.
+        let warm_basis = if options.warm_start { node.basis.as_deref() } else { None };
+        let outcome: SolveOutcome = match warm_basis {
+            Some(basis) => match engine.solve_warm(&node.lower, &node.upper, deadline, basis)? {
+                Some(out) => {
+                    tel_warm_starts += 1;
+                    out
+                }
+                None => {
+                    tel_warm_fallbacks += 1;
+                    engine.solve_cold(&node.lower, &node.upper, deadline)?
+                }
+            },
+            None => engine.solve_cold(&node.lower, &node.upper, deadline)?,
+        };
+        if fbb_telemetry::is_enabled() {
+            fbb_telemetry::record("bnb_node_simplex_iterations", outcome.iterations as f64);
+        }
+        let SolveOutcome { solution: relax, basis: relax_basis, .. } = outcome;
         match relax.status {
             LpStatus::DeadlineExceeded => {
                 // The node's relaxation was cut short, so its inherited bound
@@ -245,13 +296,20 @@ pub fn solve_mip(
                 }
                 tel_branches += 1;
                 let xv = relax.x[j];
+                let inherited = relax_basis.map(Rc::new);
                 let mut down = Node {
                     bound: relax.objective,
                     lower: node.lower.clone(),
                     upper: node.upper.clone(),
+                    basis: inherited.clone(),
                 };
                 down.upper[j] = xv.floor();
-                let mut up = Node { bound: relax.objective, lower: node.lower, upper: node.upper };
+                let mut up = Node {
+                    bound: relax.objective,
+                    lower: node.lower,
+                    upper: node.upper,
+                    basis: inherited,
+                };
                 up.lower[j] = xv.ceil();
                 heap.push(down);
                 heap.push(up);
@@ -302,6 +360,8 @@ pub fn solve_mip(
         fbb_telemetry::counter("bnb_nodes_infeasible", tel_infeasible);
         fbb_telemetry::counter("bnb_branches", tel_branches);
         fbb_telemetry::counter("bnb_incumbent_updates", tel_incumbents);
+        fbb_telemetry::counter("bnb_warm_starts", tel_warm_starts);
+        fbb_telemetry::counter("bnb_warm_start_fallbacks", tel_warm_fallbacks);
         fbb_telemetry::record("bnb_open_nodes", heap.len() as f64);
         fbb_telemetry::record("bnb_gap", solution.gap());
     }
@@ -527,6 +587,30 @@ mod tests {
         assert_ne!(s.status, MipStatus::Optimal);
         assert!(s.best_bound <= 3.0 + 1e-9, "bound {} overstated", s.best_bound);
         assert!(s.best_bound >= 2.5 - 1e-9, "bound {} understated", s.best_bound);
+    }
+
+    #[test]
+    fn warm_and_cold_trees_agree() {
+        // A branching-heavy covering model: warm-started and cold trees must
+        // land on the same incumbent objective, and neither may overstate
+        // its proven bound.
+        let mut m = Model::new();
+        let vars: Vec<usize> = (0..15).map(|i| m.add_binary(-1.0 - (i as f64) * 0.3)).collect();
+        for chunk in vars.chunks(5) {
+            let terms = chunk.iter().map(|&v| (v, 1.0)).collect();
+            m.add_constraint(terms, Sense::Le, 2.0).unwrap();
+        }
+        let terms = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(terms, Sense::Ge, 3.0).unwrap();
+
+        let warm = solve_mip(&m, &MipOptions::default(), None).unwrap();
+        let cold_opts = MipOptions { warm_start: false, ..Default::default() };
+        let cold = solve_mip(&m, &cold_opts, None).unwrap();
+        assert_eq!(warm.status, MipStatus::Optimal);
+        assert_eq!(cold.status, MipStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        assert!(warm.best_bound <= warm.objective + 1e-9);
+        assert!(cold.best_bound <= cold.objective + 1e-9);
     }
 
     #[test]

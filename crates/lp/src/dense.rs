@@ -1,0 +1,534 @@
+//! Dense two-phase bounded-variable primal simplex — the original engine,
+//! kept as the in-crate reference implementation.
+//!
+//! The production entry points ([`crate::solve_lp`]) route to the sparse
+//! revised simplex in [`crate::revised`]; this module survives for two
+//! reasons. First, `cargo bench` measures dense-vs-sparse on the same
+//! FBB-shaped instances (`BENCH_lp.json`), so the claimed speedup is
+//! reproducible against the exact code it replaced, not a strawman. Second,
+//! it is a second full simplex inside the crate for tests to cross-check
+//! (the *independent* oracle lives in `fbb-testkit`). Telemetry counters
+//! are namespaced `lp_dense_simplex_*` so the production `lp_simplex_*`
+//! series only ever means the sparse engine.
+
+use std::time::Instant;
+
+use crate::model::Sense;
+use crate::simplex::{LpSolution, LpStatus, VarStatus, PIVOT_TOL, TOL};
+use crate::{LpError, Model};
+
+struct Tableau {
+    m: usize,
+    ntot: usize,
+    /// Row-major `m x ntot` matrix `B^{-1} A`.
+    t: Vec<f64>,
+    /// Current values of the basic variables, row by row.
+    b_hat: Vec<f64>,
+    /// Column index of each row's basic variable.
+    basis: Vec<usize>,
+    status: Vec<VarStatus>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    iterations: usize,
+    /// Telemetry tallies, accumulated in plain fields so the hot loop never
+    /// touches the global sink; flushed once per solve by `Drop`.
+    pivots: usize,
+    bound_flips: usize,
+    bland_activations: usize,
+    bland_active: bool,
+}
+
+impl Drop for Tableau {
+    /// Flushes the solve's aggregate counters to `fbb_telemetry`. Drop-based
+    /// so every exit path of [`solve_lp_dense_with_bounds`] — optimal,
+    /// infeasible, unbounded, deadline, iteration limit — reports exactly
+    /// once.
+    fn drop(&mut self) {
+        if !fbb_telemetry::is_enabled() {
+            return;
+        }
+        fbb_telemetry::counter("lp_dense_simplex_solves", 1);
+        fbb_telemetry::counter("lp_dense_simplex_iterations", self.iterations as u64);
+        fbb_telemetry::counter("lp_dense_simplex_pivots", self.pivots as u64);
+        fbb_telemetry::counter("lp_dense_simplex_bound_flips", self.bound_flips as u64);
+        fbb_telemetry::counter("lp_dense_simplex_bland_activations", self.bland_activations as u64);
+    }
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> f64 {
+        self.t[row * self.ntot + col]
+    }
+
+    fn nonbasic_value(&self, col: usize) -> f64 {
+        match self.status[col] {
+            VarStatus::AtLower => self.lower[col],
+            VarStatus::AtUpper => self.upper[col],
+            VarStatus::Free => 0.0,
+            VarStatus::Basic(row) => self.b_hat[row],
+        }
+    }
+
+    /// Runs simplex iterations for cost vector `c` until optimality.
+    /// Returns `Ok(false)` if the problem is unbounded under `c`,
+    /// `Err(LpError::IterationLimit)` when the iteration budget is exhausted
+    /// (numerical cycling), and `Err(LpError::DeadlineExceeded)` when the
+    /// wall-clock deadline expires — each cause is its own variant so
+    /// callers never have to guess which limit tripped.
+    fn optimize(
+        &mut self,
+        c: &[f64],
+        iter_limit: usize,
+        deadline: Option<Instant>,
+    ) -> Result<bool, LpError> {
+        let mut stall = 0usize;
+        loop {
+            self.iterations += 1;
+            if self.iterations > iter_limit {
+                return Err(LpError::IterationLimit);
+            }
+            if let Some(d) = deadline {
+                if (self.iterations == 1 || self.iterations.is_multiple_of(64))
+                    && Instant::now() >= d
+                {
+                    return Err(LpError::DeadlineExceeded);
+                }
+            }
+            let bland = stall > 64 + self.m;
+            if bland && !self.bland_active {
+                self.bland_activations += 1;
+            }
+            self.bland_active = bland;
+
+            // Basic cost vector.
+            let cb: Vec<f64> = self.basis.iter().map(|&j| c[j]).collect();
+            let cb_nonzero = cb.iter().any(|&v| v != 0.0);
+
+            // Pricing: find the entering column.
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, violation, dir)
+            for (j, &cj) in c.iter().enumerate().take(self.ntot) {
+                if matches!(self.status[j], VarStatus::Basic(_)) {
+                    continue;
+                }
+                if self.lower[j] >= self.upper[j] - PIVOT_TOL
+                    && self.lower[j].is_finite()
+                    && self.upper[j].is_finite()
+                {
+                    continue; // fixed variable
+                }
+                let mut d = cj;
+                if cb_nonzero {
+                    for (i, &cbi) in cb.iter().enumerate() {
+                        if cbi != 0.0 {
+                            d -= cbi * self.at(i, j);
+                        }
+                    }
+                }
+                let (viol, dir) = match self.status[j] {
+                    VarStatus::AtLower => (-d, 1.0),
+                    VarStatus::AtUpper => (d, -1.0),
+                    VarStatus::Free => (d.abs(), if d > 0.0 { -1.0 } else { 1.0 }),
+                    VarStatus::Basic(_) => unreachable!(),
+                };
+                if viol > TOL {
+                    if bland {
+                        entering = Some((j, viol, dir));
+                        break;
+                    }
+                    match entering {
+                        Some((_, best, _)) if best >= viol => {}
+                        _ => entering = Some((j, viol, dir)),
+                    }
+                }
+            }
+
+            let Some((e, _viol, dir)) = entering else {
+                return Ok(true); // optimal for this cost vector
+            };
+
+            // Ratio test: entering moves by t >= 0 in direction `dir`;
+            // basic i changes by -dir * T[i][e] * t.
+            let mut t_best = if self.lower[e].is_finite() && self.upper[e].is_finite() {
+                self.upper[e] - self.lower[e]
+            } else {
+                f64::INFINITY
+            };
+            let mut leave: Option<(usize, VarStatus)> = None;
+            for i in 0..self.m {
+                let coef = dir * self.at(i, e);
+                let (ratio, hit) = if coef > PIVOT_TOL {
+                    // basic decreases toward its lower bound
+                    let lb = self.lower[self.basis[i]];
+                    if !lb.is_finite() {
+                        continue;
+                    }
+                    ((self.b_hat[i] - lb) / coef, VarStatus::AtLower)
+                } else if coef < -PIVOT_TOL {
+                    let ub = self.upper[self.basis[i]];
+                    if !ub.is_finite() {
+                        continue;
+                    }
+                    ((ub - self.b_hat[i]) / -coef, VarStatus::AtUpper)
+                } else {
+                    continue;
+                };
+                let ratio = ratio.max(0.0);
+                if ratio < t_best - PIVOT_TOL
+                    || (bland
+                        && (ratio - t_best).abs() <= PIVOT_TOL
+                        && leave.as_ref().is_some_and(|&(r, _)| self.basis[i] < self.basis[r]))
+                {
+                    t_best = ratio;
+                    leave = Some((i, hit));
+                }
+            }
+
+            if t_best.is_infinite() {
+                return Ok(false); // unbounded ray
+            }
+            stall = if t_best > TOL { 0 } else { stall + 1 };
+
+            match leave {
+                None => {
+                    // Bound flip: entering crosses to its opposite bound.
+                    self.bound_flips += 1;
+                    for i in 0..self.m {
+                        let delta = dir * self.at(i, e) * t_best;
+                        self.b_hat[i] -= delta;
+                    }
+                    self.status[e] = match self.status[e] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other, // free vars cannot bound-flip (t is infinite)
+                    };
+                }
+                Some((r, hit)) => {
+                    self.pivots += 1;
+                    let entering_value = self.nonbasic_value(e) + dir * t_best;
+                    for i in 0..self.m {
+                        if i != r {
+                            self.b_hat[i] -= dir * self.at(i, e) * t_best;
+                        }
+                    }
+                    self.b_hat[r] = entering_value;
+                    self.status[self.basis[r]] = hit;
+                    self.pivot(r, e);
+                }
+            }
+        }
+    }
+
+    /// Row-reduces the tableau around `(row, col)` and installs `col` in the
+    /// basis.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let ntot = self.ntot;
+        let piv = self.t[row * ntot + col];
+        debug_assert!(piv.abs() > PIVOT_TOL, "pivot element too small");
+        let inv = 1.0 / piv;
+        for v in &mut self.t[row * ntot..(row + 1) * ntot] {
+            *v *= inv;
+        }
+        for i in 0..self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.t[i * ntot + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..ntot {
+                let pr = self.t[row * ntot + j];
+                if pr != 0.0 {
+                    self.t[i * ntot + j] -= factor * pr;
+                }
+            }
+            self.t[i * ntot + col] = 0.0; // exact zero to limit drift
+        }
+        self.basis[row] = col;
+        self.status[col] = VarStatus::Basic(row);
+    }
+}
+
+/// Solves the LP relaxation of `model` with the dense reference engine.
+///
+/// # Errors
+///
+/// Returns the model's validation errors or [`LpError::IterationLimit`] on
+/// numerical cycling.
+pub fn solve_lp_dense(model: &Model) -> Result<LpSolution, LpError> {
+    solve_lp_dense_with_bounds(model, None, None)
+}
+
+/// Like [`solve_lp_dense`] but with per-variable bound overrides and an
+/// optional deadline — the dense twin of [`crate::solve_lp_with_bounds`].
+///
+/// # Errors
+///
+/// See [`solve_lp_dense`].
+pub fn solve_lp_dense_with_bounds(
+    model: &Model,
+    bounds: Option<(&[f64], &[f64])>,
+    deadline: Option<Instant>,
+) -> Result<LpSolution, LpError> {
+    let _lp_span = fbb_telemetry::span("lp_dense_solve");
+    model.validate()?;
+    let n = model.vars.len();
+    let m = model.constraints.len();
+
+    let (var_lower, var_upper): (Vec<f64>, Vec<f64>) = match bounds {
+        Some((lo, up)) => (lo.to_vec(), up.to_vec()),
+        None => (
+            model.vars.iter().map(|v| v.lower).collect(),
+            model.vars.iter().map(|v| v.upper).collect(),
+        ),
+    };
+    for (&lo, &up) in var_lower.iter().zip(&var_upper) {
+        if lo > up {
+            // Branching can produce empty boxes; report infeasible.
+            return Ok(LpSolution { status: LpStatus::Infeasible, x: vec![], objective: 0.0 });
+        }
+    }
+
+    // Columns: [structurals | slacks | artificials].
+    let ntot = n + 2 * m;
+    let mut lower = vec![0.0; ntot];
+    let mut upper = vec![0.0; ntot];
+    lower[..n].copy_from_slice(&var_lower);
+    upper[..n].copy_from_slice(&var_upper);
+    for (k, c) in model.constraints.iter().enumerate() {
+        let (lo, up) = match c.sense {
+            Sense::Le => (0.0, f64::INFINITY),
+            Sense::Ge => (f64::NEG_INFINITY, 0.0),
+            Sense::Eq => (0.0, 0.0),
+        };
+        lower[n + k] = lo;
+        upper[n + k] = up;
+        lower[n + m + k] = 0.0;
+        upper[n + m + k] = f64::INFINITY;
+    }
+
+    let mut status = Vec::with_capacity(ntot);
+    for j in 0..n {
+        status.push(if lower[j].is_finite() {
+            VarStatus::AtLower
+        } else if upper[j].is_finite() {
+            VarStatus::AtUpper
+        } else {
+            VarStatus::Free
+        });
+    }
+    for k in 0..m {
+        // Slacks start at 0, which is a bound for every sense.
+        status.push(match model.constraints[k].sense {
+            Sense::Le | Sense::Eq => VarStatus::AtLower,
+            Sense::Ge => VarStatus::AtUpper,
+        });
+    }
+    // Artificial statuses are installed as basic below.
+    for _ in 0..m {
+        status.push(VarStatus::AtLower);
+    }
+
+    // Residuals with structurals at their starting values, slacks at 0.
+    let start_value = |j: usize| -> f64 {
+        match status[j] {
+            VarStatus::AtLower => lower[j],
+            VarStatus::AtUpper => upper[j],
+            _ => 0.0,
+        }
+    };
+    let mut residual = vec![0.0; m];
+    for (k, c) in model.constraints.iter().enumerate() {
+        let mut r = c.rhs;
+        for &(v, coef) in &c.terms {
+            r -= coef * start_value(v);
+        }
+        residual[k] = r;
+    }
+
+    // Dense tableau rows: sign(residual) * [A | I_slack | I_art].
+    let mut t = vec![0.0; m * ntot];
+    let mut b_hat = vec![0.0; m];
+    let mut basis = vec![0usize; m];
+    for (k, c) in model.constraints.iter().enumerate() {
+        let sign = if residual[k] >= 0.0 { 1.0 } else { -1.0 };
+        for &(v, coef) in &c.terms {
+            t[k * ntot + v] = sign * coef;
+        }
+        t[k * ntot + n + k] = sign; // slack
+        t[k * ntot + n + m + k] = 1.0; // artificial: sign * sign = 1
+        b_hat[k] = residual[k].abs();
+        basis[k] = n + m + k;
+        status[n + m + k] = VarStatus::Basic(k);
+    }
+
+    let mut tab = Tableau {
+        m,
+        ntot,
+        t,
+        b_hat,
+        basis,
+        status,
+        lower,
+        upper,
+        iterations: 0,
+        pivots: 0,
+        bound_flips: 0,
+        bland_activations: 0,
+        bland_active: false,
+    };
+    #[allow(unused_mut)]
+    let mut iter_limit = 50_000 + 40 * (n + m);
+    #[cfg(feature = "fault-inject")]
+    if let Some(forced) = crate::fault::iteration_limit_override() {
+        iter_limit = forced;
+    }
+
+    // Phase 1: minimize the artificial sum.
+    let mut c1 = vec![0.0; ntot];
+    c1[n + m..].fill(1.0);
+    let bounded = match tab.optimize(&c1, iter_limit, deadline) {
+        Ok(b) => b,
+        // A deadline expiry is a caller-requested abort, reported in-band as
+        // a status; iteration-limit exhaustion stays a hard error so numerical
+        // cycling is never mistaken for a clean timeout.
+        Err(LpError::DeadlineExceeded) => {
+            return Ok(LpSolution { status: LpStatus::DeadlineExceeded, x: vec![], objective: 0.0 });
+        }
+        Err(e) => return Err(e),
+    };
+    debug_assert!(bounded, "phase 1 objective is bounded below by 0");
+    let artificial_sum: f64 =
+        (0..m).filter(|&i| tab.basis[i] >= n + m).map(|i| tab.b_hat[i]).sum();
+    if artificial_sum > 1e-6 {
+        return Ok(LpSolution { status: LpStatus::Infeasible, x: vec![], objective: 0.0 });
+    }
+
+    // Drive any residual basic artificials out of the basis (degenerate
+    // pivots), then freeze all artificials at zero.
+    for r in 0..m {
+        if tab.basis[r] >= n + m {
+            if let Some(col) = (0..n + m).find(|&j| {
+                !matches!(tab.status[j], VarStatus::Basic(_)) && tab.at(r, j).abs() > 1e-6
+            }) {
+                let entering_value = tab.nonbasic_value(col);
+                tab.status[tab.basis[r]] = VarStatus::AtLower;
+                tab.b_hat[r] = entering_value;
+                tab.pivot(r, col);
+            }
+            // Otherwise the row is redundant; the artificial stays basic at 0
+            // and its [0,0] bounds keep it there.
+        }
+    }
+    for j in n + m..ntot {
+        tab.lower[j] = 0.0;
+        tab.upper[j] = 0.0;
+    }
+
+    // Phase 2: the real objective.
+    let mut c2 = vec![0.0; ntot];
+    for (j, v) in model.vars.iter().enumerate() {
+        c2[j] = v.objective;
+    }
+    // Planted defect for the differential harness: pricing with the negated
+    // cost vector negates every phase-2 reduced cost, so the simplex pivots
+    // in the wrong direction and reports an anti-optimal vertex as Optimal.
+    // The final `objective` is still evaluated against the true model costs,
+    // which is what lets an independent oracle expose the lie.
+    #[cfg(feature = "fault-inject")]
+    if crate::fault::flip_pivot_sign() {
+        for v in &mut c2 {
+            *v = -*v;
+        }
+    }
+    let bounded = match tab.optimize(&c2, iter_limit, deadline) {
+        Ok(b) => b,
+        Err(LpError::DeadlineExceeded) => {
+            return Ok(LpSolution { status: LpStatus::DeadlineExceeded, x: vec![], objective: 0.0 });
+        }
+        Err(e) => return Err(e),
+    };
+    if !bounded {
+        return Ok(LpSolution { status: LpStatus::Unbounded, x: vec![], objective: 0.0 });
+    }
+
+    let mut x = vec![0.0; n];
+    for (j, xj) in x.iter_mut().enumerate() {
+        *xj = tab.nonbasic_value(j);
+        // Clamp basic values onto their box to shed numerical dust.
+        *xj = xj.clamp(var_lower[j], var_upper[j]);
+    }
+    let objective = model.objective_value(&x);
+    Ok(LpSolution { status: LpStatus::Optimal, x, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sense;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_le_problem() {
+        // min -(3x + 5y) s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => x=2, y=6.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, -3.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, -5.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Le, 4.0).unwrap();
+        m.add_constraint(vec![(y, 2.0)], Sense::Le, 12.0).unwrap();
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0).unwrap();
+        let s = solve_lp_dense(&m).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -36.0);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        assert_eq!(solve_lp_dense(&m).unwrap().status, LpStatus::Infeasible);
+
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, -1.0);
+        m.add_constraint(vec![(x, -1.0)], Sense::Le, 0.0).unwrap();
+        assert_eq!(solve_lp_dense(&m).unwrap().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x s.t. -x <= -3 (i.e. x >= 3), x <= 10.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, -1.0)], Sense::Le, -3.0).unwrap();
+        let s = solve_lp_dense(&m).unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_cleanly() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 1.0).unwrap();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let s = solve_lp_dense_with_bounds(&m, None, Some(past)).unwrap();
+        assert_eq!(s.status, LpStatus::DeadlineExceeded);
+    }
+
+    #[test]
+    fn dense_and_sparse_engines_agree_on_a_mixed_model() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 10.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Ge, 2.0).unwrap();
+        let dense = solve_lp_dense(&m).unwrap();
+        let sparse = crate::solve_lp(&m).unwrap();
+        assert_eq!(dense.status, sparse.status);
+        assert_close(dense.objective, sparse.objective);
+    }
+}

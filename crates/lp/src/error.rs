@@ -28,6 +28,10 @@ pub enum LpError {
     /// caller-requested abort (surfaced as
     /// `LpStatus::DeadlineExceeded`), not a numerical failure.
     DeadlineExceeded,
+    /// The basis factorization broke down and could not be rebuilt — a
+    /// numerical failure, like [`LpError::IterationLimit`], that should
+    /// never occur on well-scaled inputs.
+    NumericallySingular,
 }
 
 impl fmt::Display for LpError {
@@ -40,6 +44,9 @@ impl fmt::Display for LpError {
             }
             LpError::IterationLimit => write!(f, "simplex iteration limit exhausted"),
             LpError::DeadlineExceeded => write!(f, "wall-clock deadline expired mid-solve"),
+            LpError::NumericallySingular => {
+                write!(f, "basis factorization is numerically singular")
+            }
         }
     }
 }

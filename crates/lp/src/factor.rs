@@ -1,0 +1,479 @@
+//! Basis factorization for the revised simplex: sparse LU with
+//! product-form (eta) updates.
+//!
+//! The basis matrix `B` (one column of [`crate::sparse::CscMatrix`] per
+//! basic variable) is factorized as `PB = LU` by a left-looking
+//! Gilbert–Peierls elimination with partial pivoting: each column is
+//! obtained by a sparse triangular solve whose nonzero pattern is found by
+//! depth-first reachability over the columns of `L` built so far, so the
+//! work per column is proportional to arithmetic actually performed rather
+//! than to `m`.
+//!
+//! After a pivot the simplex does not refactorize; it appends an *eta*
+//! column — the product-form update `B_k = B_0 · E_1 ⋯ E_k`, where `E_j` is
+//! the identity with one column replaced by the FTRAN image of the entering
+//! column. FTRAN applies the base LU solve and then the eta inverses
+//! oldest-first; BTRAN applies the eta transpose-inverses newest-first and
+//! then the transposed LU solve. The eta file is discarded on
+//! refactorization, which the engine triggers on a count/stability policy
+//! (see `DESIGN.md` §5f) — never on wall-clock, so factorization telemetry
+//! stays deterministic per seed.
+
+use crate::sparse::CscMatrix;
+
+/// A pivot would divide by a value at or below this; the basis is treated
+/// as numerically singular and the caller refactorizes or restarts.
+const SINGULAR_TOL: f64 = 1e-11;
+/// Eta entries below this magnitude are dropped; they are roundoff, and
+/// keeping them only grows FTRAN/BTRAN work.
+const ETA_DROP_TOL: f64 = 1e-12;
+
+/// The candidate basis had no usable pivot in some column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SingularBasis;
+
+/// `PB = LU` for one snapshot of the basis.
+///
+/// `L` is unit lower triangular and `U` upper triangular, both stored
+/// column-wise with row indices in *pivot-position* space; `pinv` maps an
+/// original row index to its pivot position.
+#[derive(Debug, Clone)]
+struct LuFactor {
+    m: usize,
+    l_ptr: Vec<usize>,
+    l_idx: Vec<usize>,
+    l_val: Vec<f64>,
+    u_ptr: Vec<usize>,
+    u_idx: Vec<usize>,
+    u_val: Vec<f64>,
+    u_diag: Vec<f64>,
+    pinv: Vec<usize>,
+}
+
+const UNPIVOTED: usize = usize::MAX;
+
+impl LuFactor {
+    /// Factorizes the basis columns `basis[pos] = matrix column` in
+    /// position order.
+    fn factorize(mat: &CscMatrix, basis: &[usize]) -> Result<LuFactor, SingularBasis> {
+        let m = mat.rows();
+        debug_assert_eq!(basis.len(), m);
+        let mut f = LuFactor {
+            m,
+            l_ptr: Vec::with_capacity(m + 1),
+            l_idx: Vec::new(),
+            l_val: Vec::new(),
+            u_ptr: Vec::with_capacity(m + 1),
+            u_idx: Vec::new(),
+            u_val: Vec::new(),
+            u_diag: Vec::with_capacity(m),
+            pinv: vec![UNPIVOTED; m],
+        };
+        f.l_ptr.push(0);
+        f.u_ptr.push(0);
+
+        // Scatter / DFS workspaces, reset incrementally between columns.
+        let mut x = vec![0.0f64; m];
+        let mut visited = vec![false; m];
+        let mut topo: Vec<usize> = Vec::with_capacity(m);
+        let mut dfs: Vec<(usize, usize)> = Vec::with_capacity(m);
+
+        for (k, &bk) in basis.iter().enumerate() {
+            let (b_rows, b_vals) = mat.col(bk);
+
+            // Symbolic step: nonzero pattern of L⁻¹ b is the set of rows
+            // reachable from b's pattern through columns of L built so far.
+            // Reverse DFS postorder gives a valid elimination order.
+            topo.clear();
+            for &root in b_rows {
+                if visited[root] {
+                    continue;
+                }
+                dfs.push((root, 0));
+                visited[root] = true;
+                while let Some(&mut (node, ref mut child)) = dfs.last_mut() {
+                    let col = f.pinv[node];
+                    let kids: &[usize] = if col == UNPIVOTED {
+                        &[]
+                    } else {
+                        &f.l_idx[f.l_ptr[col]..f.l_ptr[col + 1]]
+                    };
+                    // Note: before the final remap below, l_idx holds
+                    // *original* row indices, which is what DFS needs.
+                    if *child < kids.len() {
+                        let next = kids[*child];
+                        *child += 1;
+                        if !visited[next] {
+                            visited[next] = true;
+                            dfs.push((next, 0));
+                        }
+                    } else {
+                        topo.push(node);
+                        dfs.pop();
+                    }
+                }
+            }
+
+            // Numeric step: x = L⁻¹ b over the pattern, deepest nodes last.
+            for (&i, &v) in b_rows.iter().zip(b_vals) {
+                x[i] = v;
+            }
+            for &i in topo.iter().rev() {
+                let col = f.pinv[i];
+                if col == UNPIVOTED {
+                    continue;
+                }
+                let xi = x[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                for (idx, &r) in f.l_idx[f.l_ptr[col]..f.l_ptr[col + 1]].iter().enumerate() {
+                    x[r] -= f.l_val[f.l_ptr[col] + idx] * xi;
+                }
+            }
+
+            // Partial pivoting over rows not yet assigned a pivot.
+            let mut pivot_row = UNPIVOTED;
+            let mut pivot_mag = SINGULAR_TOL;
+            for &i in &topo {
+                if f.pinv[i] == UNPIVOTED && x[i].abs() > pivot_mag {
+                    pivot_mag = x[i].abs();
+                    pivot_row = i;
+                }
+            }
+            if pivot_row == UNPIVOTED {
+                // Clean up workspaces before reporting failure.
+                for &i in &topo {
+                    x[i] = 0.0;
+                    visited[i] = false;
+                }
+                return Err(SingularBasis);
+            }
+            let diag = x[pivot_row];
+
+            for &i in &topo {
+                if f.pinv[i] != UNPIVOTED {
+                    f.u_idx.push(f.pinv[i]);
+                    f.u_val.push(x[i]);
+                } else if i != pivot_row {
+                    let scaled = x[i] / diag;
+                    if scaled != 0.0 {
+                        f.l_idx.push(i);
+                        f.l_val.push(scaled);
+                    }
+                }
+                x[i] = 0.0;
+                visited[i] = false;
+            }
+            f.u_diag.push(diag);
+            f.u_ptr.push(f.u_idx.len());
+            f.l_ptr.push(f.l_idx.len());
+            f.pinv[pivot_row] = k;
+        }
+
+        // Remap L's row indices from original to pivot-position space so the
+        // triangular solves below never consult the permutation.
+        for r in f.l_idx.iter_mut() {
+            *r = f.pinv[*r];
+        }
+        Ok(f)
+    }
+
+    /// In-place FTRAN: on entry `x` holds `b` in original row space, on exit
+    /// the solution of `Bx = b` indexed by basis position.
+    fn solve_dense(&self, x: &mut [f64]) {
+        let m = self.m;
+        // Permute into pivot space via a scratch pass.
+        let mut y = vec![0.0f64; m];
+        for (i, &v) in x.iter().enumerate() {
+            y[self.pinv[i]] = v;
+        }
+        // Unit lower forward solve.
+        for k in 0..m {
+            let yk = y[k];
+            if yk != 0.0 {
+                for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                    y[self.l_idx[idx]] -= self.l_val[idx] * yk;
+                }
+            }
+        }
+        // Upper backward solve.
+        for k in (0..m).rev() {
+            let yk = y[k] / self.u_diag[k];
+            y[k] = yk;
+            if yk != 0.0 {
+                for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                    y[self.u_idx[idx]] -= self.u_val[idx] * yk;
+                }
+            }
+        }
+        x.copy_from_slice(&y);
+    }
+
+    /// In-place BTRAN: on entry `x` holds `c` indexed by basis position, on
+    /// exit the solution of `Bᵀy = c` in original row space.
+    fn solve_transpose_dense(&self, x: &mut [f64]) {
+        let m = self.m;
+        // Uᵀ forward solve.
+        for k in 0..m {
+            let mut v = x[k];
+            for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                v -= self.u_val[idx] * x[self.u_idx[idx]];
+            }
+            x[k] = v / self.u_diag[k];
+        }
+        // Lᵀ backward solve (unit diagonal).
+        for k in (0..m).rev() {
+            let mut v = x[k];
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                v -= self.l_val[idx] * x[self.l_idx[idx]];
+            }
+            x[k] = v;
+        }
+        // Permute back to original row space.
+        let mut y = vec![0.0f64; m];
+        for (i, &pos) in self.pinv.iter().enumerate() {
+            y[i] = x[pos];
+        }
+        x.copy_from_slice(&y);
+    }
+}
+
+/// One product-form update `E`: identity with column `pivot` replaced by a
+/// (sparse) FTRAN image of the entering column.
+#[derive(Debug, Clone)]
+struct Eta {
+    pivot: usize,
+    pivot_val: f64,
+    /// Off-pivot entries `(basis position, value)`.
+    entries: Vec<(usize, f64)>,
+}
+
+/// An LU-factorized basis plus the eta file accumulated since the last
+/// refactorization.
+#[derive(Debug, Clone)]
+pub(crate) struct BasisFactor {
+    lu: LuFactor,
+    etas: Vec<Eta>,
+}
+
+/// Refactorize once this many etas have accumulated: beyond it the eta
+/// sweeps cost more than a fresh LU and roundoff from stacked updates
+/// starts to show in the ratio test.
+pub(crate) const MAX_ETAS: usize = 64;
+
+impl BasisFactor {
+    /// Factorizes the given basis columns of `mat`.
+    pub fn factorize(mat: &CscMatrix, basis: &[usize]) -> Result<BasisFactor, SingularBasis> {
+        Ok(BasisFactor { lu: LuFactor::factorize(mat, basis)?, etas: Vec::new() })
+    }
+
+    /// Number of eta updates since the last refactorization.
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// True once the eta file is long enough that the engine should
+    /// refactorize at the next pivot.
+    pub fn should_refactor(&self) -> bool {
+        self.eta_count() >= MAX_ETAS
+    }
+
+    /// Solves `B x = b` in place: `x` enters in original row space, leaves
+    /// indexed by basis position.
+    pub fn ftran(&self, x: &mut [f64]) {
+        self.lu.solve_dense(x);
+        // Oldest eta first: x ← E_j⁻¹ x.
+        for eta in &self.etas {
+            let xr = x[eta.pivot] / eta.pivot_val;
+            x[eta.pivot] = xr;
+            if xr != 0.0 {
+                for &(i, v) in &eta.entries {
+                    x[i] -= v * xr;
+                }
+            }
+        }
+    }
+
+    /// Solves `Bᵀ y = c` in place: `x` enters indexed by basis position,
+    /// leaves in original row space.
+    pub fn btran(&self, x: &mut [f64]) {
+        // Newest eta first: x ← E_jᵀ⁻¹ x.
+        for eta in self.etas.iter().rev() {
+            let mut v = x[eta.pivot];
+            for &(i, w) in &eta.entries {
+                v -= w * x[i];
+            }
+            x[eta.pivot] = v / eta.pivot_val;
+        }
+        self.lu.solve_transpose_dense(x);
+    }
+
+    /// Records the pivot that replaces basis position `pivot` with the
+    /// variable whose FTRAN image is `column` (dense, basis-position
+    /// indexed). Fails when the pivot element is numerically unusable, in
+    /// which case the caller must refactorize instead.
+    pub fn push_eta(&mut self, pivot: usize, column: &[f64]) -> Result<(), SingularBasis> {
+        let pivot_val = column[pivot];
+        if pivot_val.abs() <= SINGULAR_TOL {
+            return Err(SingularBasis);
+        }
+        let entries: Vec<(usize, f64)> = column
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != pivot && v.abs() > ETA_DROP_TOL)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { pivot, pivot_val, entries });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+    use crate::Model;
+
+    /// Builds the CSC matrix for rows given as dense coefficient slices.
+    fn csc_from_rows(n: usize, rows: &[&[f64]]) -> CscMatrix {
+        let mut model = Model::new();
+        for _ in 0..n {
+            model.add_continuous(0.0, 1.0, 0.0);
+        }
+        for row in rows {
+            let terms: Vec<(usize, f64)> =
+                row.iter().enumerate().filter(|(_, &c)| c != 0.0).map(|(j, &c)| (j, c)).collect();
+            model.add_constraint(terms, Sense::Eq, 0.0).unwrap();
+        }
+        CscMatrix::build(&model)
+    }
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_basis_round_trips() {
+        // Basis = artificial columns = I.
+        let mat = csc_from_rows(2, &[&[3.0, 1.0], &[1.0, 2.0]]);
+        let n = 2;
+        let m = 2;
+        let basis: Vec<usize> = (0..m).map(|k| n + m + k).collect();
+        let f = BasisFactor::factorize(&mat, &basis).unwrap();
+        let mut x = vec![5.0, -7.0];
+        f.ftran(&mut x);
+        assert_close(&x, &[5.0, -7.0]);
+        let mut y = vec![1.5, 2.5];
+        f.btran(&mut y);
+        assert_close(&y, &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn structural_basis_solves_match_hand_inverse() {
+        // B = [[3, 1], [1, 2]], det 5; B⁻¹ = [[2, -1], [-1, 3]] / 5.
+        let mat = csc_from_rows(2, &[&[3.0, 1.0], &[1.0, 2.0]]);
+        let f = BasisFactor::factorize(&mat, &[0, 1]).unwrap();
+
+        let mut x = vec![1.0, 0.0];
+        f.ftran(&mut x);
+        assert_close(&x, &[0.4, -0.2]);
+
+        let mut y = vec![0.0, 1.0];
+        f.btran(&mut y);
+        // Bᵀ y = e_2 -> y = B⁻ᵀ e_2 = column 2 of B⁻ᵀ = row 2 of B⁻¹.
+        assert_close(&y, &[-0.2, 0.6]);
+    }
+
+    #[test]
+    fn permutation_requiring_basis_factors() {
+        // First column forces a row swap: [[0, 1], [1, 0]].
+        let mat = csc_from_rows(2, &[&[0.0, 1.0], &[1.0, 0.0]]);
+        let f = BasisFactor::factorize(&mat, &[0, 1]).unwrap();
+        let mut x = vec![3.0, 4.0];
+        f.ftran(&mut x);
+        // B = [[0,1],[1,0]] so x = B⁻¹ b swaps entries.
+        assert_close(&x, &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        // Start from basis {x0, x1}, replace position 1 with the slack of
+        // row 0; compare FTRAN/BTRAN after the eta vs. a fresh LU.
+        let mat = csc_from_rows(3, &[&[3.0, 1.0, 2.0], &[1.0, 2.0, -1.0]]);
+        let mut f = BasisFactor::factorize(&mat, &[0, 1]).unwrap();
+
+        let entering = 3; // slack of row 0
+        let mut w = vec![0.0f64; 2];
+        mat.scatter_col(entering, 1.0, &mut w);
+        f.ftran(&mut w);
+        f.push_eta(1, &w).unwrap();
+        assert_eq!(f.eta_count(), 1);
+
+        let fresh = BasisFactor::factorize(&mat, &[0, entering]).unwrap();
+        for rhs in [[1.0, 0.0], [0.0, 1.0], [2.5, -4.0]] {
+            let mut a = rhs.to_vec();
+            let mut b = rhs.to_vec();
+            f.ftran(&mut a);
+            fresh.ftran(&mut b);
+            assert_close(&a, &b);
+
+            let mut a = rhs.to_vec();
+            let mut b = rhs.to_vec();
+            f.btran(&mut a);
+            fresh.btran(&mut b);
+            assert_close(&a, &b);
+        }
+    }
+
+    #[test]
+    fn stacked_etas_still_agree_with_fresh_lu() {
+        // 3×3 system, two successive replacements.
+        let mat =
+            csc_from_rows(3, &[&[2.0, 0.0, 1.0], &[1.0, 3.0, 0.0], &[0.0, 1.0, 4.0]]);
+        let mut f = BasisFactor::factorize(&mat, &[0, 1, 2]).unwrap();
+
+        // Bring in slack of row 1 (col 4) replacing position 0.
+        let mut w = vec![0.0f64; 3];
+        mat.scatter_col(4, 1.0, &mut w);
+        f.ftran(&mut w);
+        f.push_eta(0, &w).unwrap();
+        // Bring in slack of row 0 (col 3) replacing position 2.
+        let mut w = vec![0.0f64; 3];
+        mat.scatter_col(3, 1.0, &mut w);
+        f.ftran(&mut w);
+        f.push_eta(2, &w).unwrap();
+
+        let fresh = BasisFactor::factorize(&mat, &[4, 1, 3]).unwrap();
+        for rhs in [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0], [1.0, -2.0, 0.5]] {
+            let mut a = rhs.to_vec();
+            let mut b = rhs.to_vec();
+            f.ftran(&mut a);
+            fresh.ftran(&mut b);
+            assert_close(&a, &b);
+
+            let mut a = rhs.to_vec();
+            let mut b = rhs.to_vec();
+            f.btran(&mut a);
+            fresh.btran(&mut b);
+            assert_close(&a, &b);
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_reported_not_crashed() {
+        // Two copies of the same column cannot form a basis.
+        let mat = csc_from_rows(2, &[&[1.0, 1.0], &[2.0, 2.0]]);
+        assert_eq!(BasisFactor::factorize(&mat, &[0, 1]).unwrap_err(), SingularBasis);
+    }
+
+    #[test]
+    fn tiny_eta_pivot_is_rejected() {
+        let mat = csc_from_rows(2, &[&[1.0, 0.0], &[0.0, 1.0]]);
+        let mut f = BasisFactor::factorize(&mat, &[0, 1]).unwrap();
+        let w = vec![0.0, 1e-13];
+        assert_eq!(f.push_eta(1, &w).unwrap_err(), SingularBasis);
+    }
+}

@@ -7,13 +7,17 @@
 //!
 //! * [`Model`] — variables with bounds/integrality, linear constraints
 //!   (`<=`, `=`, `>=`), and a linear objective (minimization);
-//! * [`solve_lp`] — a dense **two-phase bounded-variable primal simplex**
-//!   (upper/lower bounds handled natively, no explicit bound rows; Dantzig
-//!   pricing with a Bland anti-cycling fallback);
+//! * [`solve_lp`] — a **sparse revised two-phase bounded-variable primal
+//!   simplex** (CSC matrix, LU-factorized basis with eta-file updates and
+//!   periodic refactorization, partial pricing with a Bland anti-cycling
+//!   fallback); the original dense tableau survives as [`solve_lp_dense`]
+//!   for benchmarking and cross-checks;
 //! * [`solve_mip`] — **best-first branch & bound** with branching
-//!   priorities, incumbent seeding, a rounding probe, and node/time limits
+//!   priorities, incumbent seeding, a rounding probe, node/time limits
 //!   (time-limited solves report the residual MIP gap, which is how the
-//!   harness reproduces the paper's "ILP did not converge" entries).
+//!   harness reproduces the paper's "ILP did not converge" entries), and
+//!   dual-simplex warm starts: each child node re-optimizes from its
+//!   parent's basis instead of running two-phase from scratch.
 //!
 //! # Example
 //!
@@ -38,13 +42,18 @@
 #![warn(missing_docs)]
 
 mod bnb;
+mod dense;
 mod error;
+mod factor;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 mod model;
+mod revised;
 mod simplex;
+mod sparse;
 
 pub use bnb::{solve_mip, MipOptions, MipSolution, MipStatus};
+pub use dense::{solve_lp_dense, solve_lp_dense_with_bounds};
 pub use error::LpError;
 pub use model::{Model, Sense, VarKind};
 pub use simplex::{solve_lp, solve_lp_with_bounds, LpSolution, LpStatus};

@@ -105,7 +105,10 @@ impl Model {
 
     /// Adds a linear constraint `Σ coeff·var (sense) rhs`.
     ///
-    /// Duplicate variable entries are accumulated.
+    /// Duplicate variable entries are accumulated. Rows whose indices are
+    /// already strictly increasing — the natural output of generators that
+    /// walk variables in order, like the FBB path constraints — cannot
+    /// contain duplicates and skip the quadratic dedup scan entirely.
     ///
     /// # Errors
     ///
@@ -120,19 +123,26 @@ impl Model {
         if !rhs.is_finite() {
             return Err(LpError::NonFiniteData(format!("rhs {rhs}")));
         }
-        let mut acc: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
-        for (v, c) in terms {
+        for &(v, c) in &terms {
             if v >= self.vars.len() {
                 return Err(LpError::UnknownVariable(v));
             }
             if !c.is_finite() {
                 return Err(LpError::NonFiniteData(format!("coefficient {c} on variable {v}")));
             }
-            match acc.iter_mut().find(|(w, _)| *w == v) {
-                Some((_, existing)) => *existing += c,
-                None => acc.push((v, c)),
-            }
         }
+        let acc = if terms.windows(2).all(|w| w[0].0 < w[1].0) {
+            terms
+        } else {
+            let mut acc: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+            for (v, c) in terms {
+                match acc.iter_mut().find(|(w, _)| *w == v) {
+                    Some((_, existing)) => *existing += c,
+                    None => acc.push((v, c)),
+                }
+            }
+            acc
+        };
         self.constraints.push(Constraint { terms: acc, sense, rhs });
         Ok(self.constraints.len() - 1)
     }
@@ -216,6 +226,20 @@ mod tests {
         let x = m.add_continuous(0.0, 1.0, 1.0);
         m.add_constraint(vec![(x, 1.0), (x, 2.0)], Sense::Le, 3.0).unwrap();
         assert_eq!(m.constraints[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn sorted_and_unsorted_rows_store_the_same_terms() {
+        let mut m = Model::new();
+        let vars: Vec<usize> = (0..4).map(|_| m.add_continuous(0.0, 1.0, 0.0)).collect();
+        // Sorted input takes the fast path; the shuffled duplicate-free
+        // input goes through dedup. Same multiset of terms either way.
+        m.add_constraint(vars.iter().map(|&v| (v, 1.5)).collect(), Sense::Le, 1.0).unwrap();
+        m.add_constraint(vec![(vars[2], 1.5), (vars[0], 1.5), (vars[3], 1.5), (vars[1], 1.5)], Sense::Le, 1.0)
+            .unwrap();
+        let mut slow = m.constraints[1].terms.clone();
+        slow.sort_by_key(|&(v, _)| v);
+        assert_eq!(m.constraints[0].terms, slow);
     }
 
     #[test]

@@ -1,0 +1,920 @@
+//! Sparse revised simplex over an LU-factorized basis, with a dual-simplex
+//! warm-start path for branch-and-bound re-solves.
+//!
+//! The engine keeps the constraint matrix in CSC form ([`crate::sparse`])
+//! and represents the basis only through its factorization
+//! ([`crate::factor`]): one BTRAN prices a whole iteration, one FTRAN
+//! produces the pivot column, and a pivot appends an eta instead of
+//! row-reducing an m×(n+m) tableau. Pricing is *partial* — a rotating
+//! window of columns is scanned and the best violation inside the first
+//! non-empty window enters — falling back to a full smallest-index scan
+//! when the anti-cycling stall counter trips (same threshold as the dense
+//! engine).
+//!
+//! Phase 1 keeps the matrix fixed across solves (a warm-start requirement)
+//! by *signing the artificials* instead of the rows: artificial `k` always
+//! has coefficient `+1`, and a negative starting residual simply gives it
+//! bounds `(-inf, 0]` and phase-1 cost `-1`, so the phase-1 objective is
+//! the residual 1-norm either way.
+//!
+//! `solve_warm` re-optimizes from a parent basis after bound-only changes:
+//! the parent basis stays dual feasible, so a dual simplex drives out the
+//! (few) bound violations the branching introduced, then a primal pass
+//! certifies optimality. Any numerical surprise — singular warm basis,
+//! iteration blow-up, an "unbounded" verdict that a box-bounded child
+//! cannot actually have — abandons the warm path and reports "fall back to
+//! a cold solve" rather than guessing.
+
+use std::time::Instant;
+
+use crate::factor::BasisFactor;
+use crate::simplex::{LpSolution, LpStatus, VarStatus, PIVOT_TOL, TOL};
+use crate::sparse::{slack_bounds, CscMatrix};
+use crate::{LpError, Model};
+
+/// A resumable basis snapshot: which column sits in each basis position and
+/// the bound status of every column.
+#[derive(Debug, Clone)]
+pub(crate) struct Basis {
+    cols: Vec<usize>,
+    status: Vec<VarStatus>,
+}
+
+/// Result of one engine solve, with the data branch-and-bound needs on top
+/// of the plain [`LpSolution`].
+#[derive(Debug, Clone)]
+pub(crate) struct SolveOutcome {
+    /// The solution as reported to callers.
+    pub solution: LpSolution,
+    /// Basis snapshot for warm-starting children; `Some` only for
+    /// [`LpStatus::Optimal`].
+    pub basis: Option<Basis>,
+    /// Simplex iterations spent on this solve (all phases).
+    pub iterations: usize,
+}
+
+/// Verdict of the dual-simplex loop.
+enum DualEnd {
+    /// All basic variables are back inside their bounds.
+    Feasible,
+    /// A violated row admits no entering column: primal infeasible.
+    Infeasible,
+}
+
+/// Per-solve telemetry tallies, kept in plain fields so the hot loop never
+/// touches the global sink; flushed once per `solve_*` call.
+#[derive(Default)]
+struct Stats {
+    iterations: usize,
+    pivots: usize,
+    bound_flips: usize,
+    bland_activations: usize,
+    bland_active: bool,
+    factorizations: usize,
+    refactorizations: usize,
+    eta_appends: usize,
+}
+
+/// Sparse revised simplex engine, reusable across many solves of the same
+/// model (branch-and-bound builds it once per tree).
+pub(crate) struct SparseEngine {
+    mat: CscMatrix,
+    n: usize,
+    m: usize,
+    ntot: usize,
+    rhs: Vec<f64>,
+    obj: Vec<f64>,
+    /// Sense-derived slack bounds, fixed per row.
+    slack_lo: Vec<f64>,
+    slack_up: Vec<f64>,
+    // Per-solve working state.
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    status: Vec<VarStatus>,
+    basis: Vec<usize>,
+    xb: Vec<f64>,
+    factor: BasisFactor,
+    cursor: usize,
+    stats: Stats,
+}
+
+impl SparseEngine {
+    /// Builds the engine for a validated model.
+    pub fn new(model: &Model) -> SparseEngine {
+        let n = model.vars.len();
+        let m = model.constraints.len();
+        let ntot = n + 2 * m;
+        let mat = CscMatrix::build(model);
+        debug_assert_eq!(mat.cols(), ntot);
+        debug_assert!(mat.nnz() >= 2 * m, "slack and artificial columns are always present");
+        let artificial_basis: Vec<usize> = (0..m).map(|k| n + m + k).collect();
+        let factor = BasisFactor::factorize(&mat, &artificial_basis)
+            .expect("identity artificial basis cannot be singular");
+        let (slack_lo, slack_up): (Vec<f64>, Vec<f64>) =
+            model.constraints.iter().map(|c| slack_bounds(c.sense)).unzip();
+        SparseEngine {
+            mat,
+            n,
+            m,
+            ntot,
+            rhs: model.constraints.iter().map(|c| c.rhs).collect(),
+            obj: model.vars.iter().map(|v| v.objective).collect(),
+            slack_lo,
+            slack_up,
+            lower: vec![0.0; ntot],
+            upper: vec![0.0; ntot],
+            status: vec![VarStatus::AtLower; ntot],
+            basis: artificial_basis,
+            xb: vec![0.0; m],
+            factor,
+            cursor: 0,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Full two-phase solve from the all-artificial start.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::IterationLimit`] on numerical cycling,
+    /// [`LpError::NumericallySingular`] if the basis cannot be refactorized.
+    pub fn solve_cold(
+        &mut self,
+        var_lower: &[f64],
+        var_upper: &[f64],
+        deadline: Option<Instant>,
+    ) -> Result<SolveOutcome, LpError> {
+        let _lp_span = fbb_telemetry::span("lp_solve");
+        self.stats = Stats::default();
+        let res = self.cold_inner(var_lower, var_upper, deadline);
+        self.flush_stats();
+        res
+    }
+
+    /// Dual-simplex re-solve from a parent basis after bound-only changes.
+    /// `Ok(None)` means the warm path gave up and the caller should solve
+    /// cold; it is never an answer.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Self::solve_cold`], though iteration-limit
+    /// exhaustion is reported as `Ok(None)` so cycling in the warm path
+    /// costs a fallback, not the node.
+    pub fn solve_warm(
+        &mut self,
+        var_lower: &[f64],
+        var_upper: &[f64],
+        deadline: Option<Instant>,
+        warm: &Basis,
+    ) -> Result<Option<SolveOutcome>, LpError> {
+        let _lp_span = fbb_telemetry::span("lp_solve");
+        self.stats = Stats::default();
+        let res = self.warm_inner(var_lower, var_upper, deadline, warm);
+        self.flush_stats();
+        res
+    }
+
+    fn flush_stats(&self) {
+        if !fbb_telemetry::is_enabled() {
+            return;
+        }
+        let s = &self.stats;
+        fbb_telemetry::counter("lp_simplex_solves", 1);
+        fbb_telemetry::counter("lp_simplex_iterations", s.iterations as u64);
+        fbb_telemetry::counter("lp_simplex_pivots", s.pivots as u64);
+        fbb_telemetry::counter("lp_simplex_bound_flips", s.bound_flips as u64);
+        fbb_telemetry::counter("lp_simplex_bland_activations", s.bland_activations as u64);
+        fbb_telemetry::counter("lp_factorizations", s.factorizations as u64);
+        fbb_telemetry::counter("lp_refactorizations", s.refactorizations as u64);
+        fbb_telemetry::counter("lp_eta_appends", s.eta_appends as u64);
+    }
+
+    fn iter_limit(&self) -> usize {
+        #[allow(unused_mut)]
+        let mut limit = 50_000 + 40 * (self.n + self.m);
+        #[cfg(feature = "fault-inject")]
+        if let Some(forced) = crate::fault::iteration_limit_override() {
+            limit = forced;
+        }
+        limit
+    }
+
+    /// Phase-2 cost vector (structural objectives), with the planted
+    /// pivot-sign defect applied when armed — see `dense.rs` for why the
+    /// final objective still tells the truth.
+    fn phase2_cost(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.ntot];
+        c[..self.n].copy_from_slice(&self.obj);
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::flip_pivot_sign() {
+            for v in &mut c[..self.n] {
+                *v = -*v;
+            }
+        }
+        c
+    }
+
+    fn cold_inner(
+        &mut self,
+        var_lower: &[f64],
+        var_upper: &[f64],
+        deadline: Option<Instant>,
+    ) -> Result<SolveOutcome, LpError> {
+        if let Some(out) = self.install_bounds(var_lower, var_upper) {
+            return Ok(out);
+        }
+        let (n, m) = (self.n, self.m);
+        self.cursor = 0;
+
+        // Structural and slack starting statuses.
+        for j in 0..n {
+            self.status[j] = if self.lower[j].is_finite() {
+                VarStatus::AtLower
+            } else if self.upper[j].is_finite() {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::Free
+            };
+        }
+        for k in 0..m {
+            // Slacks start at 0, which is a bound for every sense.
+            self.status[n + k] =
+                if self.slack_up[k] == 0.0 { VarStatus::AtUpper } else { VarStatus::AtLower };
+        }
+
+        // Row residuals with every structural at its starting value; the
+        // artificial for each row absorbs the residual, its bounds and
+        // phase-1 cost signed so the start is feasible without touching
+        // the matrix.
+        let mut residual = self.rhs.clone();
+        for j in 0..n {
+            let v = match self.status[j] {
+                VarStatus::AtLower => self.lower[j],
+                VarStatus::AtUpper => self.upper[j],
+                _ => 0.0,
+            };
+            if v != 0.0 {
+                self.mat.scatter_col(j, -v, &mut residual);
+            }
+        }
+        let mut c1 = vec![0.0; self.ntot];
+        for (k, &res) in residual.iter().enumerate() {
+            let a = n + m + k;
+            if res >= 0.0 {
+                self.lower[a] = 0.0;
+                self.upper[a] = f64::INFINITY;
+                c1[a] = 1.0;
+            } else {
+                self.lower[a] = f64::NEG_INFINITY;
+                self.upper[a] = 0.0;
+                c1[a] = -1.0;
+            }
+            self.basis[k] = a;
+            self.status[a] = VarStatus::Basic(k);
+        }
+        self.xb = residual;
+        self.factor = BasisFactor::factorize(&self.mat, &self.basis)
+            .expect("identity artificial basis cannot be singular");
+        self.stats.factorizations += 1;
+
+        let iter_limit = self.iter_limit();
+
+        // Phase 1: minimize the signed artificial sum (the residual 1-norm).
+        match self.primal(&c1, iter_limit, deadline) {
+            Ok(bounded) => debug_assert!(bounded, "phase 1 objective is bounded below by 0"),
+            Err(LpError::DeadlineExceeded) => return Ok(Self::bare(LpStatus::DeadlineExceeded)),
+            Err(e) => return Err(e),
+        }
+        let artificial_sum: f64 = (0..m)
+            .filter(|&i| self.basis[i] >= n + m)
+            .map(|i| self.xb[i].abs())
+            .sum();
+        if artificial_sum > 1e-6 {
+            return Ok(Self::bare(LpStatus::Infeasible));
+        }
+
+        self.drive_out_artificials()?;
+        for j in n + m..self.ntot {
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+        }
+
+        // Phase 2: the real objective.
+        let c2 = self.phase2_cost();
+        match self.primal(&c2, iter_limit, deadline) {
+            Ok(true) => Ok(self.extract()),
+            Ok(false) => Ok(Self::bare(LpStatus::Unbounded)),
+            Err(LpError::DeadlineExceeded) => Ok(Self::bare(LpStatus::DeadlineExceeded)),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn warm_inner(
+        &mut self,
+        var_lower: &[f64],
+        var_upper: &[f64],
+        deadline: Option<Instant>,
+        warm: &Basis,
+    ) -> Result<Option<SolveOutcome>, LpError> {
+        if let Some(out) = self.install_bounds(var_lower, var_upper) {
+            return Ok(Some(out));
+        }
+        let (n, m) = (self.n, self.m);
+        self.cursor = 0;
+        // Artificials stay fixed at zero in every warm solve.
+        for j in n + m..self.ntot {
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+        }
+        self.basis.copy_from_slice(&warm.cols);
+        self.status.copy_from_slice(&warm.status);
+        // Repair nonbasic statuses the bound changes invalidated.
+        for j in 0..self.ntot {
+            let (lo, up) = (self.lower[j], self.upper[j]);
+            self.status[j] = match self.status[j] {
+                VarStatus::AtLower if !lo.is_finite() => {
+                    if up.is_finite() { VarStatus::AtUpper } else { VarStatus::Free }
+                }
+                VarStatus::AtUpper if !up.is_finite() => {
+                    if lo.is_finite() { VarStatus::AtLower } else { VarStatus::Free }
+                }
+                VarStatus::Free if lo > 0.0 => VarStatus::AtLower,
+                VarStatus::Free if up < 0.0 => VarStatus::AtUpper,
+                other => other,
+            };
+        }
+        let Ok(factor) = BasisFactor::factorize(&self.mat, &self.basis) else {
+            return Ok(None);
+        };
+        self.factor = factor;
+        self.stats.factorizations += 1;
+        self.recompute_xb();
+
+        let iter_limit = self.iter_limit();
+        let c2 = self.phase2_cost();
+        match self.dual(&c2, iter_limit, deadline) {
+            Ok(DualEnd::Feasible) => {}
+            Ok(DualEnd::Infeasible) => return Ok(Some(Self::bare(LpStatus::Infeasible))),
+            Err(LpError::DeadlineExceeded) => {
+                return Ok(Some(Self::bare(LpStatus::DeadlineExceeded)))
+            }
+            Err(_) => return Ok(None),
+        }
+        // Primal finish pass: certifies optimality (and mops up any slop the
+        // dual tolerances let through). A genuine "unbounded" cannot happen
+        // below a parent whose relaxation was bounded, so treat it as a
+        // numerical artifact and fall back.
+        match self.primal(&c2, iter_limit, deadline) {
+            Ok(true) => Ok(Some(self.extract())),
+            Ok(false) => Ok(None),
+            Err(LpError::DeadlineExceeded) => Ok(Some(Self::bare(LpStatus::DeadlineExceeded))),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Installs per-solve bounds. Returns an infeasible outcome directly for
+    /// an empty variable box (branching produces those).
+    fn install_bounds(&mut self, var_lower: &[f64], var_upper: &[f64]) -> Option<SolveOutcome> {
+        for (&lo, &up) in var_lower.iter().zip(var_upper) {
+            if lo > up {
+                return Some(Self::bare(LpStatus::Infeasible));
+            }
+        }
+        self.lower[..self.n].copy_from_slice(var_lower);
+        self.upper[..self.n].copy_from_slice(var_upper);
+        for k in 0..self.m {
+            self.lower[self.n + k] = self.slack_lo[k];
+            self.upper[self.n + k] = self.slack_up[k];
+        }
+        None
+    }
+
+    fn bare(status: LpStatus) -> SolveOutcome {
+        SolveOutcome {
+            solution: LpSolution { status, x: vec![], objective: 0.0 },
+            basis: None,
+            iterations: 0,
+        }
+    }
+
+    fn extract(&self) -> SolveOutcome {
+        let mut x = vec![0.0; self.n];
+        for (j, xj) in x.iter_mut().enumerate() {
+            *xj = self.value_of(j).clamp(self.lower[j], self.upper[j]);
+        }
+        let objective: f64 = self.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+        SolveOutcome {
+            solution: LpSolution { status: LpStatus::Optimal, x, objective },
+            basis: Some(Basis { cols: self.basis.clone(), status: self.status.clone() }),
+            iterations: self.stats.iterations,
+        }
+    }
+
+    fn value_of(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::Basic(row) => self.xb[row],
+            VarStatus::AtLower => self.lower[j],
+            VarStatus::AtUpper => self.upper[j],
+            VarStatus::Free => 0.0,
+        }
+    }
+
+    fn is_fixed(&self, j: usize) -> bool {
+        self.lower[j] >= self.upper[j] - PIVOT_TOL
+            && self.lower[j].is_finite()
+            && self.upper[j].is_finite()
+    }
+
+    /// Recomputes basic values `x_B = B^{-1}(rhs - N x_N)` from scratch;
+    /// called after every (re)factorization to shed accumulated drift.
+    fn recompute_xb(&mut self) {
+        let mut r = self.rhs.clone();
+        for j in 0..self.ntot {
+            if !matches!(self.status[j], VarStatus::Basic(_)) {
+                let v = self.value_of(j);
+                if v != 0.0 {
+                    self.mat.scatter_col(j, -v, &mut r);
+                }
+            }
+        }
+        self.factor.ftran(&mut r);
+        self.xb = r;
+    }
+
+    /// Dual variables `y = B^{-T} c_B` in row space (skipping the solve when
+    /// every basic cost is zero, as in most of phase 1).
+    fn duals(&self, c: &[f64]) -> (Vec<f64>, bool) {
+        let mut y = vec![0.0; self.m];
+        let mut any = false;
+        for (pos, &j) in self.basis.iter().enumerate() {
+            y[pos] = c[j];
+            any |= c[j] != 0.0;
+        }
+        if any {
+            self.factor.btran(&mut y);
+        }
+        (y, any)
+    }
+
+    fn reduced_cost(&self, j: usize, c: &[f64], y: &[f64], y_nonzero: bool) -> f64 {
+        if y_nonzero {
+            c[j] - self.mat.col_dot(j, y)
+        } else {
+            c[j]
+        }
+    }
+
+    /// Books the basis change `position r <- column e` whose FTRAN image is
+    /// `w`, then refactorizes if the eta file is full (or, in the rare case
+    /// the eta pivot is unusable, immediately).
+    fn install_pivot(&mut self, r: usize, e: usize, w: &[f64]) -> Result<(), LpError> {
+        self.basis[r] = e;
+        self.status[e] = VarStatus::Basic(r);
+        let pushed = self.factor.push_eta(r, w).is_ok();
+        if pushed {
+            self.stats.eta_appends += 1;
+        }
+        if !pushed || self.factor.should_refactor() {
+            match BasisFactor::factorize(&self.mat, &self.basis) {
+                Ok(f) => {
+                    self.factor = f;
+                    self.stats.factorizations += 1;
+                    self.stats.refactorizations += 1;
+                    self.recompute_xb();
+                }
+                // With a valid eta we may keep the (long but correct)
+                // product form and try again next pivot; without one the
+                // basis representation is gone.
+                Err(_) if pushed => {}
+                Err(_) => return Err(LpError::NumericallySingular),
+            }
+        }
+        Ok(())
+    }
+
+    /// Bookkeeping shared by both loops: iteration count, iteration limit,
+    /// and the amortized (every 64 iterations) deadline poll.
+    fn tick(&mut self, iter_limit: usize, deadline: Option<Instant>) -> Result<(), LpError> {
+        self.stats.iterations += 1;
+        if self.stats.iterations > iter_limit {
+            return Err(LpError::IterationLimit);
+        }
+        if let Some(d) = deadline {
+            if (self.stats.iterations == 1 || self.stats.iterations.is_multiple_of(64))
+                && Instant::now() >= d
+            {
+                return Err(LpError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Partial pricing: scans rotating windows of columns and returns the
+    /// best violation in the first window that has one; under Bland mode,
+    /// a full smallest-index scan. Returns `(column, direction)`.
+    fn price(&mut self, c: &[f64], y: &[f64], y_nonzero: bool, bland: bool) -> Option<(usize, f64)> {
+        let window = 64.max(self.ntot / 8);
+        let mut best: Option<(usize, f64, f64)> = None;
+        for scanned in 0..self.ntot {
+            let j = if bland { scanned } else { (self.cursor + scanned) % self.ntot };
+            if matches!(self.status[j], VarStatus::Basic(_)) || self.is_fixed(j) {
+                continue;
+            }
+            let d = self.reduced_cost(j, c, y, y_nonzero);
+            let (viol, dir) = match self.status[j] {
+                VarStatus::AtLower => (-d, 1.0),
+                VarStatus::AtUpper => (d, -1.0),
+                VarStatus::Free => (d.abs(), if d > 0.0 { -1.0 } else { 1.0 }),
+                VarStatus::Basic(_) => unreachable!(),
+            };
+            if viol > TOL {
+                if bland {
+                    return Some((j, dir));
+                }
+                match best {
+                    Some((_, b, _)) if b >= viol => {}
+                    _ => best = Some((j, viol, dir)),
+                }
+            }
+            if !bland && (scanned + 1) % window == 0 {
+                if let Some((bj, _, bdir)) = best {
+                    self.cursor = (j + 1) % self.ntot;
+                    return Some((bj, bdir));
+                }
+            }
+        }
+        best.map(|(bj, _, bdir)| {
+            self.cursor = (bj + 1) % self.ntot;
+            (bj, bdir)
+        })
+    }
+
+    /// Primal bounded-variable simplex for cost vector `c` until optimality.
+    /// `Ok(false)` means unbounded under `c`; error semantics match
+    /// [`Self::tick`].
+    fn primal(
+        &mut self,
+        c: &[f64],
+        iter_limit: usize,
+        deadline: Option<Instant>,
+    ) -> Result<bool, LpError> {
+        let mut stall = 0usize;
+        let mut w = vec![0.0f64; self.m];
+        loop {
+            self.tick(iter_limit, deadline)?;
+            let bland = stall > 64 + self.m;
+            if bland && !self.stats.bland_active {
+                self.stats.bland_activations += 1;
+            }
+            self.stats.bland_active = bland;
+
+            let (y, y_nonzero) = self.duals(c);
+            let Some((e, dir)) = self.price(c, &y, y_nonzero, bland) else {
+                return Ok(true); // optimal for this cost vector
+            };
+
+            // Pivot column through the basis inverse.
+            w.iter_mut().for_each(|v| *v = 0.0);
+            self.mat.scatter_col(e, 1.0, &mut w);
+            self.factor.ftran(&mut w);
+
+            // Ratio test: entering moves by t >= 0 in direction `dir`;
+            // basic i changes by -dir * w[i] * t.
+            let mut t_best = if self.lower[e].is_finite() && self.upper[e].is_finite() {
+                self.upper[e] - self.lower[e]
+            } else {
+                f64::INFINITY
+            };
+            let mut leave: Option<(usize, VarStatus)> = None;
+            for (i, &wi) in w.iter().enumerate() {
+                let coef = dir * wi;
+                let (ratio, hit) = if coef > PIVOT_TOL {
+                    // basic decreases toward its lower bound
+                    let lb = self.lower[self.basis[i]];
+                    if !lb.is_finite() {
+                        continue;
+                    }
+                    ((self.xb[i] - lb) / coef, VarStatus::AtLower)
+                } else if coef < -PIVOT_TOL {
+                    let ub = self.upper[self.basis[i]];
+                    if !ub.is_finite() {
+                        continue;
+                    }
+                    ((ub - self.xb[i]) / -coef, VarStatus::AtUpper)
+                } else {
+                    continue;
+                };
+                let ratio = ratio.max(0.0);
+                if ratio < t_best - PIVOT_TOL
+                    || (bland
+                        && (ratio - t_best).abs() <= PIVOT_TOL
+                        && leave
+                            .as_ref()
+                            .is_some_and(|&(r, _)| self.basis[i] < self.basis[r]))
+                {
+                    t_best = ratio;
+                    leave = Some((i, hit));
+                }
+            }
+
+            if t_best.is_infinite() {
+                return Ok(false); // unbounded ray
+            }
+            stall = if t_best > TOL { 0 } else { stall + 1 };
+
+            match leave {
+                None => {
+                    // Bound flip: entering crosses to its opposite bound.
+                    self.stats.bound_flips += 1;
+                    for (i, &wi) in w.iter().enumerate() {
+                        self.xb[i] -= dir * wi * t_best;
+                    }
+                    self.status[e] = match self.status[e] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        other => other, // free vars cannot bound-flip (t is infinite)
+                    };
+                }
+                Some((r, hit)) => {
+                    self.stats.pivots += 1;
+                    let entering_value = self.value_of(e) + dir * t_best;
+                    for (i, &wi) in w.iter().enumerate() {
+                        if i != r {
+                            self.xb[i] -= dir * wi * t_best;
+                        }
+                    }
+                    self.xb[r] = entering_value;
+                    self.status[self.basis[r]] = hit;
+                    self.install_pivot(r, e, &w)?;
+                }
+            }
+        }
+    }
+
+    /// Dual simplex: restores primal feasibility after bound changes while
+    /// preserving dual feasibility. Entering is chosen by the standard dual
+    /// ratio test over the leaving row; no eligible column is a primal
+    /// infeasibility certificate for the row, independent of the costs.
+    fn dual(
+        &mut self,
+        c: &[f64],
+        iter_limit: usize,
+        deadline: Option<Instant>,
+    ) -> Result<DualEnd, LpError> {
+        let mut rho = vec![0.0f64; self.m];
+        let mut w = vec![0.0f64; self.m];
+        loop {
+            self.tick(iter_limit, deadline)?;
+
+            // Leaving row: largest bound violation among the basics.
+            let mut leave: Option<(usize, f64, f64)> = None; // (row, viol, sigma)
+            for (i, &j) in self.basis.iter().enumerate() {
+                let (viol, sigma) = if self.xb[i] > self.upper[j] + TOL {
+                    (self.xb[i] - self.upper[j], 1.0)
+                } else if self.xb[i] < self.lower[j] - TOL {
+                    (self.lower[j] - self.xb[i], -1.0)
+                } else {
+                    continue;
+                };
+                match leave {
+                    Some((_, best, _)) if best >= viol => {}
+                    _ => leave = Some((i, viol, sigma)),
+                }
+            }
+            let Some((r, _, sigma)) = leave else {
+                return Ok(DualEnd::Feasible);
+            };
+
+            // Row r of B^{-1}A via one BTRAN, plus current duals for the
+            // ratio numerators.
+            rho.iter_mut().for_each(|v| *v = 0.0);
+            rho[r] = 1.0;
+            self.factor.btran(&mut rho);
+            let (y, y_nonzero) = self.duals(c);
+
+            let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+            for j in 0..self.ntot {
+                if matches!(self.status[j], VarStatus::Basic(_)) || self.is_fixed(j) {
+                    continue;
+                }
+                let alpha = self.mat.col_dot(j, &rho);
+                let sa = sigma * alpha;
+                let eligible = match self.status[j] {
+                    VarStatus::AtLower => sa > PIVOT_TOL,
+                    VarStatus::AtUpper => sa < -PIVOT_TOL,
+                    VarStatus::Free => sa.abs() > PIVOT_TOL,
+                    VarStatus::Basic(_) => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(j, c, y.as_slice(), y_nonzero);
+                let ratio = (d / sa).max(0.0);
+                let better = match best {
+                    None => true,
+                    Some((_, br, ba)) => {
+                        ratio < br - PIVOT_TOL
+                            || ((ratio - br).abs() <= PIVOT_TOL && alpha.abs() > ba)
+                    }
+                };
+                if better {
+                    best = Some((j, ratio, alpha.abs()));
+                }
+            }
+            let Some((e, _, _)) = best else {
+                return Ok(DualEnd::Infeasible);
+            };
+
+            w.iter_mut().for_each(|v| *v = 0.0);
+            self.mat.scatter_col(e, 1.0, &mut w);
+            self.factor.ftran(&mut w);
+            if w[r].abs() <= PIVOT_TOL {
+                // Factor drift made the chosen pivot unusable; rebuild the
+                // factorization and retry the row.
+                match BasisFactor::factorize(&self.mat, &self.basis) {
+                    Ok(f) => {
+                        self.factor = f;
+                        self.stats.factorizations += 1;
+                        self.stats.refactorizations += 1;
+                        self.recompute_xb();
+                        continue;
+                    }
+                    Err(_) => return Err(LpError::NumericallySingular),
+                }
+            }
+
+            self.stats.pivots += 1;
+            let leaving = self.basis[r];
+            let bound =
+                if sigma > 0.0 { self.upper[leaving] } else { self.lower[leaving] };
+            let delta = (self.xb[r] - bound) / w[r];
+            let entering_value = self.value_of(e) + delta;
+            for (i, &wi) in w.iter().enumerate() {
+                if i != r {
+                    self.xb[i] -= wi * delta;
+                }
+            }
+            self.xb[r] = entering_value;
+            self.status[leaving] =
+                if sigma > 0.0 { VarStatus::AtUpper } else { VarStatus::AtLower };
+            self.install_pivot(r, e, &w)?;
+        }
+    }
+
+    /// Replaces any artificial still basic after phase 1 with a structural
+    /// or slack column (degenerate pivots); rows where none qualifies are
+    /// redundant and keep their artificial basic, pinned by [0,0] bounds.
+    fn drive_out_artificials(&mut self) -> Result<(), LpError> {
+        let art_start = self.n + self.m;
+        let mut rho = vec![0.0f64; self.m];
+        let mut w = vec![0.0f64; self.m];
+        for r in 0..self.m {
+            if self.basis[r] < art_start {
+                continue;
+            }
+            rho.iter_mut().for_each(|v| *v = 0.0);
+            rho[r] = 1.0;
+            self.factor.btran(&mut rho);
+            let candidate = (0..art_start).find(|&j| {
+                !matches!(self.status[j], VarStatus::Basic(_))
+                    && self.mat.col_dot(j, &rho).abs() > 1e-6
+            });
+            if let Some(e) = candidate {
+                w.iter_mut().for_each(|v| *v = 0.0);
+                self.mat.scatter_col(e, 1.0, &mut w);
+                self.factor.ftran(&mut w);
+                if w[r].abs() <= PIVOT_TOL {
+                    continue; // drifted below pivotability; row stays redundant
+                }
+                let leaving = self.basis[r];
+                // Degenerate pivot: the artificial sits at 0, so the
+                // entering column keeps its current (bound) value.
+                self.status[leaving] = if self.upper[leaving] == 0.0 {
+                    VarStatus::AtUpper
+                } else {
+                    VarStatus::AtLower
+                };
+                self.xb[r] = self.value_of(e);
+                self.install_pivot(r, e, &w)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sense;
+
+    fn bounds_of(model: &Model) -> (Vec<f64>, Vec<f64>) {
+        (model.vars.iter().map(|v| v.lower).collect(), model.vars.iter().map(|v| v.upper).collect())
+    }
+
+    fn cold(model: &Model) -> SolveOutcome {
+        let (lo, up) = bounds_of(model);
+        SparseEngine::new(model).solve_cold(&lo, &up, None).unwrap()
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_le_problem_matches_known_optimum() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, -3.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, -5.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Le, 4.0).unwrap();
+        m.add_constraint(vec![(y, 2.0)], Sense::Le, 12.0).unwrap();
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0).unwrap();
+        let out = cold(&m);
+        assert_eq!(out.solution.status, LpStatus::Optimal);
+        assert_close(out.solution.objective, -36.0);
+        assert!(out.basis.is_some());
+        assert!(out.iterations > 0);
+    }
+
+    #[test]
+    fn negative_residual_rows_use_signed_artificials() {
+        // -x <= -3 gives a negative starting residual; the signed phase 1
+        // must still find x = 3.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, -1.0)], Sense::Le, -3.0).unwrap();
+        let out = cold(&m);
+        assert_eq!(out.solution.status, LpStatus::Optimal);
+        assert_close(out.solution.objective, 3.0);
+    }
+
+    #[test]
+    fn warm_solve_after_bound_tightening_matches_cold() {
+        // Knapsack-ish relaxation; branch x0 to [1, 1] and compare warm
+        // against cold.
+        let mut m = Model::new();
+        let a = m.add_continuous(0.0, 1.0, -5.0);
+        let b = m.add_continuous(0.0, 1.0, -4.0);
+        let c = m.add_continuous(0.0, 1.0, -3.0);
+        m.add_constraint(vec![(a, 2.0), (b, 3.0), (c, 1.0)], Sense::Le, 3.5).unwrap();
+        let (lo, up) = bounds_of(&m);
+
+        let mut engine = SparseEngine::new(&m);
+        let parent = engine.solve_cold(&lo, &up, None).unwrap();
+        assert_eq!(parent.solution.status, LpStatus::Optimal);
+        let basis = parent.basis.unwrap();
+
+        let child_lo = vec![1.0, 0.0, 0.0];
+        let warm = engine
+            .solve_warm(&child_lo, &up, None, &basis)
+            .unwrap()
+            .expect("warm path should handle a single bound change");
+        let cold = engine.solve_cold(&child_lo, &up, None).unwrap();
+        assert_eq!(warm.solution.status, cold.solution.status);
+        assert_close(warm.solution.objective, cold.solution.objective);
+    }
+
+    #[test]
+    fn warm_solve_detects_child_infeasibility() {
+        // x + y >= 1.5 with both branched to [0, 0] is empty.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        let y = m.add_continuous(0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 1.5).unwrap();
+        let (lo, up) = bounds_of(&m);
+        let mut engine = SparseEngine::new(&m);
+        let parent = engine.solve_cold(&lo, &up, None).unwrap();
+        let basis = parent.basis.unwrap();
+        let warm = engine
+            .solve_warm(&lo, &[0.0, 0.0], None, &basis)
+            .unwrap()
+            .expect("dual simplex certifies infeasibility without fallback");
+        assert_eq!(warm.solution.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn refactorization_kicks_in_on_long_solves() {
+        // A chain model long enough to exceed the eta budget.
+        let mut m = Model::new();
+        let n = 80;
+        let vars: Vec<usize> = (0..n).map(|i| m.add_continuous(0.0, 10.0, -((i % 7) as f64) - 1.0)).collect();
+        for pair in vars.windows(2) {
+            m.add_constraint(vec![(pair[0], 1.0), (pair[1], 1.0)], Sense::Le, 3.0).unwrap();
+        }
+        m.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(), Sense::Le, 40.0)
+            .unwrap();
+        let (lo, up) = bounds_of(&m);
+        let mut engine = SparseEngine::new(&m);
+        let out = engine.solve_cold(&lo, &up, None).unwrap();
+        assert_eq!(out.solution.status, LpStatus::Optimal);
+        assert!(engine.stats.pivots > 0);
+    }
+
+    #[test]
+    fn empty_box_short_circuits_to_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 1.0).unwrap();
+        let out = SparseEngine::new(&m).solve_cold(&[4.0], &[3.0], None).unwrap();
+        assert_eq!(out.solution.status, LpStatus::Infeasible);
+    }
+}

@@ -16,10 +16,14 @@
 //!
 //! # Sizing
 //!
-//! The pool size is `min(jobs, threads())` where [`threads`] defaults to
-//! [`std::thread::available_parallelism`] and can be pinned with the
-//! `FBB_THREADS` environment variable (e.g. `FBB_THREADS=1` forces every
-//! loop serial — useful for benchmark baselines and bisection).
+//! The pool size is `min(jobs / MIN_JOBS_PER_WORKER, threads())` where
+//! [`threads`] defaults to [`std::thread::available_parallelism`] and can be
+//! pinned with the `FBB_THREADS` environment variable (e.g. `FBB_THREADS=1`
+//! forces every loop serial — useful for benchmark baselines and bisection).
+//! Dividing by [`MIN_JOBS_PER_WORKER`] keeps the pool from spawning when
+//! each worker would get so little work that thread startup dominates —
+//! small loops run serially instead of paying for threads that slow them
+//! down.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -42,9 +46,24 @@ pub fn threads() -> usize {
         .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
+/// Minimum jobs a worker must be able to claim before spawning it pays off.
+///
+/// Spawning an OS thread costs tens of microseconds; a worker that will only
+/// ever claim one or two jobs of comparable size loses that startup cost.
+/// The benchmark that exposed this (`sta_engine`, Monte Carlo over 64 dies)
+/// showed the pool *slowing the loop down* when the per-worker share fell
+/// below a handful of jobs, so [`worker_count`] refuses to spread jobs
+/// thinner than this.
+pub const MIN_JOBS_PER_WORKER: usize = 4;
+
 /// Number of workers a loop over `jobs` items would use.
+///
+/// At most `jobs / MIN_JOBS_PER_WORKER` workers are spawned (never more
+/// than [`threads`]); loops too small to feed every worker at least
+/// [`MIN_JOBS_PER_WORKER`] jobs shrink the pool, down to `1` — fully
+/// serial, no threads spawned.
 pub fn worker_count(jobs: usize) -> usize {
-    threads().min(jobs).max(1)
+    threads().min(jobs / MIN_JOBS_PER_WORKER).max(1)
 }
 
 /// Runs `f(0..n)` across the worker pool and returns the results in index
@@ -149,6 +168,20 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert!(worker_count(1) == 1);
         assert!(worker_count(10_000) >= 1);
+        assert!(worker_count(10_000) <= threads());
+    }
+
+    #[test]
+    fn small_loops_stay_serial() {
+        // Below MIN_JOBS_PER_WORKER jobs there is nothing to split,
+        // whatever the thread budget says.
+        for jobs in 0..MIN_JOBS_PER_WORKER {
+            assert_eq!(worker_count(jobs), 1, "jobs={jobs}");
+        }
+        // And the pool never spreads jobs thinner than the threshold.
+        for jobs in [8, 64, 1000] {
+            assert!(worker_count(jobs) <= jobs / MIN_JOBS_PER_WORKER, "jobs={jobs}");
+        }
     }
 
     #[test]

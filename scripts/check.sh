@@ -5,9 +5,13 @@
 #   - clippy clean under -D warnings
 #   - rustdoc builds warning-free (RUSTDOCFLAGS turns warnings into errors)
 #   - testkit gate: the differential-oracle suites in crates/testkit
-#   - difftest smoke: a clean run passes AND an armed pivot-sign defect
-#     is actually caught (guards the harness against going blind)
+#     (includes the sparse-engine-vs-dense-oracle property suite)
+#   - difftest smoke: a clean sparse-vs-oracle run passes AND an armed
+#     pivot-sign defect is actually caught (guards the harness against
+#     going blind)
 #   - telemetry smoke: quickstart emits a snapshot that parses as JSON
+#   - lp bench smoke: BENCH_lp.json regenerates and holds the sparse >= 2x
+#     and warm-start iteration-reduction acceptance numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +23,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # Differential-testing gate: oracles vs engines, plus fault-injection suites.
 cargo test -q -p fbb-testkit
 
-# Clean difftest must pass…
+# Clean difftest must pass (the LP layer pits the sparse revised engine
+# against the independent dense-tableau oracle on every case)…
 cargo run --release --quiet -- difftest --cases 64 --seed 7
 # …and the harness must catch a planted solver bug (expect exit code 4).
 if cargo run --release --quiet -- difftest --cases 64 --seed 7 --inject-pivot-bug \
@@ -39,5 +44,20 @@ with open(sys.argv[1]) as f:
 assert snap.get("lp_simplex_solves", 0) > 0, "no simplex counters in snapshot"
 assert all(isinstance(v, (int, float)) for v in snap.values()), "non-numeric value"
 print(f"telemetry smoke: {len(snap)} keys, JSON OK")
+EOF
+
+# LP solver bench smoke: regenerate BENCH_lp.json and hold the acceptance
+# numbers — sparse >= 2x dense on the largest model, warm starts cutting
+# per-node simplex iterations below cold two-phase solves.
+cargo bench -p fbb-bench --bench lp_solver > /dev/null
+python3 - BENCH_lp.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+speedup = snap["lp_sparse_speedup_large"]
+assert speedup >= 2.0, f"sparse speedup {speedup} below the 2x floor"
+reduction = snap["bnb_warm_iter_reduction"]
+assert reduction > 1.0, f"warm starts do not reduce per-node iterations ({reduction})"
+print(f"lp bench smoke: sparse {speedup:.2f}x on large, warm iter reduction {reduction:.2f}x")
 EOF
 echo "check.sh: all green"
