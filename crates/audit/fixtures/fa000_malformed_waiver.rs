@@ -1,0 +1,12 @@
+// fbb-audit-fixture: crates/lp/src/planted_fa000.rs
+//! Planted FA000 violations: waiver comments that do not parse. FA000 is
+//! unwaivable, so every hit below must survive as a violation.
+
+// fbb-audit: allow(FA001)
+fn reasonless_waiver() {}
+
+// fbb-audit: disable(FA002) wrong verb, only allow(...) exists
+fn garbled_directive() {}
+
+// fbb-audit: allow(FA999) waiver naming a rule that does not exist
+fn unknown_rule() {}

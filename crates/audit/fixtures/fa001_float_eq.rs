@@ -1,0 +1,26 @@
+// fbb-audit-fixture: crates/lp/src/planted_fa001.rs
+//! Planted FA001: float-literal equality in a solver path.
+
+fn planted_hit(x: f64) -> bool {
+    x == 0.0
+}
+
+fn planted_hit_ne(x: f64) -> bool {
+    // fbb-audit: allow(FA001) fixture demonstrates a waived hit
+    x != 1.0
+}
+
+fn clean(x: f64) -> bool {
+    let one: f64 = 1.0;
+    crate::approx::is_zero(x) || x.to_bits() == one.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_compare_is_fine_in_tests() {
+        assert!(super::planted_hit(0.0) == true);
+        let y = 2.0;
+        assert!(y == 2.0);
+    }
+}

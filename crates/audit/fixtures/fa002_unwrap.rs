@@ -1,0 +1,28 @@
+// fbb-audit-fixture: crates/core/src/planted_fa002.rs
+//! Planted FA002: `.unwrap()` / reasonless `.expect("")` in library code.
+
+fn planted_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn planted_empty_expect(v: Option<u32>) -> u32 {
+    v.expect("")
+}
+
+fn waived_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // fbb-audit: allow(FA002) fixture demonstrates a waived hit
+}
+
+fn clean(v: Option<u32>) -> Result<u32, &'static str> {
+    let first = v.expect("caller guarantees a value here");
+    v.ok_or("missing").map(|x| x + first)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(3).unwrap(), 3);
+        assert_eq!(Some(4).expect(""), 4);
+    }
+}

@@ -1,0 +1,34 @@
+// fbb-audit-fixture: crates/sta/src/planted_fa003.rs
+//! Planted FA003: wall-clock reads in a deterministic solver layer.
+
+use std::time::Instant;
+
+fn planted_instant_now() -> Instant {
+    Instant::now()
+}
+
+fn planted_elapsed(t: Instant) -> u128 {
+    t.elapsed().as_nanos()
+}
+
+fn planted_system_time() {
+    let _ = std::time::SystemTime::UNIX_EPOCH;
+}
+
+fn waived_runtime_report(t: Instant) -> u128 {
+    // fbb-audit: allow(FA003) fixture demonstrates waived runtime reporting
+    t.elapsed().as_millis()
+}
+
+fn clean(limit: Option<std::time::Duration>) -> bool {
+    fbb_lp::deadline::deadline_after(limit).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,29 @@
+// fbb-audit-fixture: crates/lp/src/planted_fa004.rs
+//! Planted FA004: telemetry names breaking the naming conventions.
+
+fn planted_not_snake_case() {
+    fbb_telemetry::counter("BadName", 1);
+}
+
+fn planted_missing_layer_prefix() {
+    fbb_telemetry::record("solver_iterations", 7.0);
+}
+
+fn waived_legacy_name() {
+    // fbb-audit: allow(FA004) fixture demonstrates a waived legacy name
+    fbb_telemetry::counter("legacy_total", 1);
+}
+
+fn clean() {
+    fbb_telemetry::counter("lp_iterations", 1);
+    fbb_telemetry::record("bnb_gap", 0.5);
+    let _span = fbb_telemetry::span("audit_model_pass");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_unchecked_in_tests() {
+        fbb_telemetry::counter("WhateverWorks", 1);
+    }
+}

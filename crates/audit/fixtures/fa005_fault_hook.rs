@@ -1,0 +1,29 @@
+// fbb-audit-fixture: crates/core/src/planted_fa005.rs
+//! Planted FA005: fault-injection hooks referenced outside the feature
+//! gate, in a crate that does not declare `fault-inject` in Cargo.toml.
+
+fn planted_hook_ident() {
+    with_flipped_pivot_sign(|| {});
+}
+
+fn planted_fault_module_path() {
+    fbb_lp::fault::reset();
+}
+
+fn waived_hook() {
+    // fbb-audit: allow(FA005) fixture demonstrates a waived hook reference
+    with_iteration_limit(3, || {});
+}
+
+#[cfg(feature = "fault-inject")]
+fn clean_gated_hook() {
+    fbb_lp::fault::with_flipped_pivot_sign(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hooks_are_fine_in_tests() {
+        super::with_iteration_limit(1, || {});
+    }
+}

@@ -1,0 +1,17 @@
+// fbb-audit-fixture: crates/variation/src/planted_fa006.rs
+//! Planted FA006: imports of external crates the offline build cannot
+//! resolve (no shim under shims/, not a workspace fbb-* crate).
+
+use regex::Regex;
+
+// fbb-audit: allow(FA006) fixture demonstrates a waived import
+use libc::c_int;
+
+use std::collections::HashMap;
+use fbb_lp::Model;
+use rand::Rng;
+
+mod local_helper {}
+use local_helper as helper;
+
+fn clean(_m: &Model, _h: HashMap<c_int, Regex>) {}

@@ -1,0 +1,372 @@
+//! Per-file analysis context: the token stream plus everything the rules
+//! need to scope themselves — which tokens are inside `#[cfg(test)]` items,
+//! which are inside `#[cfg(feature = "fault-inject")]` gates, and the
+//! parsed `// fbb-audit: allow(RULE) reason` waiver comments.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// How a file participates in the build — rules scope on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Compiled into a library (`crates/*/src`, the facade `src/lib.rs`).
+    Library,
+    /// A binary entry point (`src/bin`, `crates/*/src/bin`).
+    Binary,
+    /// Test-adjacent code: integration tests, benches, examples.
+    TestLike,
+}
+
+/// An inline waiver: `// fbb-audit: allow(FA003) reason text`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule ID the waiver targets (e.g. `FA003`).
+    pub rule: String,
+    /// 1-based line of the waiver comment. The waiver covers findings on
+    /// this line (trailing form) and on the next line (preceding form).
+    pub line: u32,
+    /// Mandatory justification text after the `allow(...)`.
+    pub reason: String,
+}
+
+/// A malformed waiver-looking comment (bad syntax or empty reason); always
+/// a violation, never waivable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedWaiver {
+    /// 1-based line of the offending comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// Fully analyzed source file, ready for the rules.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path with forward slashes (rules scope on this).
+    pub rel_path: String,
+    /// Build role of the file.
+    pub class: FileClass,
+    /// Whether the owning crate's `Cargo.toml` enables the `fault-inject`
+    /// feature on its `fbb-lp` dependency.
+    pub declares_fault_inject: bool,
+    /// The full token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens, in order.
+    pub meaningful: Vec<usize>,
+    /// Per-token flag: inside a `#[test]`/`#[cfg(test)]`-gated item.
+    pub test_mask: Vec<bool>,
+    /// Per-token flag: inside a `#[cfg(feature = "fault-inject")]` gate.
+    pub fault_mask: Vec<bool>,
+    /// Well-formed waivers found in comments.
+    pub waivers: Vec<Waiver>,
+    /// Waiver-looking comments that do not parse.
+    pub malformed_waivers: Vec<MalformedWaiver>,
+}
+
+impl FileCtx {
+    /// Lexes and analyzes one file.
+    pub fn analyze(
+        rel_path: &str,
+        class: FileClass,
+        declares_fault_inject: bool,
+        source: &str,
+    ) -> FileCtx {
+        let tokens = lex(source);
+        let meaningful: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let (test_mask, fault_mask) = gated_regions(&tokens, &meaningful);
+        let (waivers, malformed_waivers) = parse_waivers(&tokens);
+        FileCtx {
+            rel_path: rel_path.to_owned(),
+            class,
+            declares_fault_inject,
+            tokens,
+            meaningful,
+            test_mask,
+            fault_mask,
+            waivers,
+            malformed_waivers,
+        }
+    }
+
+    /// The meaningful token at meaningful-index `k`, if any.
+    pub fn mt(&self, k: usize) -> Option<&Token> {
+        self.meaningful.get(k).map(|&i| &self.tokens[i])
+    }
+
+    /// Whether the meaningful token at meaningful-index `k` is test-gated
+    /// (or the whole file is test-like).
+    pub fn is_test(&self, k: usize) -> bool {
+        self.class == FileClass::TestLike
+            || self.meaningful.get(k).map(|&i| self.test_mask[i]).unwrap_or(false)
+    }
+
+    /// Whether the meaningful token at meaningful-index `k` sits inside a
+    /// `fault-inject` feature gate.
+    pub fn is_fault_gated(&self, k: usize) -> bool {
+        self.meaningful.get(k).map(|&i| self.fault_mask[i]).unwrap_or(false)
+    }
+}
+
+/// What a `#[cfg(...)]`-style attribute gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Gates {
+    test: bool,
+    fault: bool,
+}
+
+/// Computes per-token test/fault gating by scanning attributes and marking
+/// the item each one covers (up to the matching `}` of the item's first
+/// brace block, or a top-level `;` for braceless items).
+fn gated_regions(tokens: &[Token], meaningful: &[usize]) -> (Vec<bool>, Vec<bool>) {
+    let mut test_mask = vec![false; tokens.len()];
+    let mut fault_mask = vec![false; tokens.len()];
+    let mut k = 0usize;
+    while k < meaningful.len() {
+        let tok = &tokens[meaningful[k]];
+        if !(tok.kind == TokenKind::Op && tok.text == "#") {
+            k += 1;
+            continue;
+        }
+        // `#[...]` outer or `#![...]` inner attribute.
+        let mut a = k + 1;
+        let inner = matches!(meaningful.get(a).map(|&i| &tokens[i]), Some(t) if t.text == "!");
+        if inner {
+            a += 1;
+        }
+        match meaningful.get(a).map(|&i| &tokens[i]) {
+            Some(t) if t.kind == TokenKind::Op && t.text == "[" => {}
+            _ => {
+                k += 1;
+                continue;
+            }
+        }
+        let attr_start = k;
+        let (gates, attr_end) = scan_attribute(tokens, meaningful, a);
+        if !gates.test && !gates.fault {
+            k = attr_end + 1;
+            continue;
+        }
+        // The gated region: for an inner attribute, the rest of the file;
+        // otherwise the next item (skipping any further attributes).
+        let region_end = if inner {
+            meaningful.len().saturating_sub(1)
+        } else {
+            item_end(tokens, meaningful, attr_end + 1)
+        };
+        for &idx in meaningful.iter().take(region_end + 1).skip(attr_start) {
+            test_mask[idx] |= gates.test;
+            fault_mask[idx] |= gates.fault;
+        }
+        k = attr_end + 1;
+    }
+    (test_mask, fault_mask)
+}
+
+/// Scans an attribute starting at the `[` (meaningful-index `open`);
+/// returns what it gates and the meaningful-index of the closing `]`.
+fn scan_attribute(tokens: &[Token], meaningful: &[usize], open: usize) -> (Gates, usize) {
+    let mut depth = 0usize;
+    let mut gates = Gates::default();
+    let mut negated = false;
+    let mut k = open;
+    while k < meaningful.len() {
+        let t = &tokens[meaningful[k]];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Op, "[") => depth += 1,
+            (TokenKind::Op, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            // `cfg(not(...))` inverts the gate; treat the whole attribute
+            // as non-gating (conservative: fewer exemptions).
+            (TokenKind::Ident, "not") => negated = true,
+            (TokenKind::Ident, "test") => gates.test = true,
+            (TokenKind::Str, _) if t.text.contains("fault-inject") => gates.fault = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    if negated {
+        gates = Gates::default();
+    }
+    (gates, k.min(meaningful.len().saturating_sub(1)))
+}
+
+/// Finds the meaningful-index where the item starting at `start` ends:
+/// the matching `}` of its first brace block, or a `;` before any brace.
+/// Leading attributes on the item are skipped over (they belong to it).
+fn item_end(tokens: &[Token], meaningful: &[usize], start: usize) -> usize {
+    let mut k = start;
+    // Skip stacked attributes.
+    while k < meaningful.len() && tokens[meaningful[k]].text == "#" {
+        if let Some(next) = meaningful.get(k + 1).map(|&i| &tokens[i]) {
+            if next.text == "[" {
+                let (_, end) = scan_attribute(tokens, meaningful, k + 1);
+                k = end + 1;
+                continue;
+            }
+        }
+        break;
+    }
+    let mut depth = 0usize;
+    while k < meaningful.len() {
+        let t = &tokens[meaningful[k]];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Op, "{") => depth += 1,
+            (TokenKind::Op, "}") => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k;
+                }
+            }
+            (TokenKind::Op, ";") if depth == 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    meaningful.len().saturating_sub(1)
+}
+
+/// Extracts waivers from comment tokens. Only plain comments participate:
+/// doc comments (`///`, `//!`, `/**`) never carry waivers, so rustdoc
+/// examples can mention the syntax freely.
+fn parse_waivers(tokens: &[Token]) -> (Vec<Waiver>, Vec<MalformedWaiver>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for t in tokens {
+        let body = match t.kind {
+            TokenKind::LineComment => {
+                let rest = t.text.strip_prefix("//").unwrap_or(&t.text);
+                if rest.starts_with('/') || rest.starts_with('!') {
+                    continue; // doc comment
+                }
+                rest
+            }
+            TokenKind::BlockComment => {
+                let rest = t.text.strip_prefix("/*").unwrap_or(&t.text);
+                if rest.starts_with('*') || rest.starts_with('!') {
+                    continue; // doc comment
+                }
+                rest.strip_suffix("*/").unwrap_or(rest)
+            }
+            _ => continue,
+        };
+        let body = body.trim();
+        let Some(directive) = body.strip_prefix("fbb-audit:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        let Some(rest) = directive.strip_prefix("allow(") else {
+            malformed.push(MalformedWaiver {
+                line: t.line,
+                problem: format!("expected `allow(RULE) reason`, got `{directive}`"),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            malformed.push(MalformedWaiver {
+                line: t.line,
+                problem: "unclosed `allow(` in waiver".to_owned(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_owned();
+        let reason = rest[close + 1..].trim().to_owned();
+        if reason.is_empty() {
+            malformed.push(MalformedWaiver {
+                line: t.line,
+                problem: format!("waiver for {rule} carries no reason"),
+            });
+            continue;
+        }
+        waivers.push(Waiver { rule, line: t.line, reason });
+    }
+    (waivers, malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::analyze("crates/lp/src/x.rs", FileClass::Library, false, src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let c = ctx("fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}");
+        let unwrap_idx =
+            (0..c.meaningful.len()).find(|&k| c.mt(k).map(|t| t.text == "unwrap") == Some(true));
+        assert!(c.is_test(unwrap_idx.expect("token present")));
+        let live = (0..c.meaningful.len())
+            .find(|&k| c.mt(k).map(|t| t.text == "live") == Some(true))
+            .expect("token present");
+        let after = (0..c.meaningful.len())
+            .find(|&k| c.mt(k).map(|t| t.text == "after") == Some(true))
+            .expect("token present");
+        assert!(!c.is_test(live));
+        assert!(!c.is_test(after), "mask must end at the matching brace");
+    }
+
+    #[test]
+    fn test_attribute_gates_one_fn() {
+        let c = ctx("#[test]\nfn t() { a(); }\nfn live() { b(); }");
+        let a = (0..c.meaningful.len())
+            .find(|&k| c.mt(k).map(|t| t.text == "a") == Some(true))
+            .expect("token present");
+        let b = (0..c.meaningful.len())
+            .find(|&k| c.mt(k).map(|t| t.text == "b") == Some(true))
+            .expect("token present");
+        assert!(c.is_test(a));
+        assert!(!c.is_test(b));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_gated() {
+        let c = ctx("#[cfg(not(test))]\nfn live() { a(); }");
+        let a = (0..c.meaningful.len())
+            .find(|&k| c.mt(k).map(|t| t.text == "a") == Some(true))
+            .expect("token present");
+        assert!(!c.is_test(a));
+    }
+
+    #[test]
+    fn fault_feature_gate_masks_item() {
+        let c = ctx("#[cfg(feature = \"fault-inject\")]\npub mod fault;\nfn live() {}");
+        let fault = (0..c.meaningful.len())
+            .find(|&k| c.mt(k).map(|t| t.text == "fault") == Some(true))
+            .expect("token present");
+        let live = (0..c.meaningful.len())
+            .find(|&k| c.mt(k).map(|t| t.text == "live") == Some(true))
+            .expect("token present");
+        assert!(c.is_fault_gated(fault));
+        assert!(!c.is_fault_gated(live));
+    }
+
+    #[test]
+    fn waivers_parse_and_doc_comments_are_ignored() {
+        let c = ctx(
+            "// fbb-audit: allow(FA003) runtime reporting only\nfn f() {}\n\
+             /// // fbb-audit: allow(FA001) doc example, not a waiver\nfn g() {}",
+        );
+        assert_eq!(c.waivers.len(), 1);
+        assert_eq!(c.waivers[0].rule, "FA003");
+        assert_eq!(c.waivers[0].line, 1);
+        assert!(c.malformed_waivers.is_empty());
+    }
+
+    #[test]
+    fn reasonless_and_garbled_waivers_are_malformed() {
+        let c = ctx("// fbb-audit: allow(FA001)\nfn f() {}\n// fbb-audit: disable(FA001) nope\n");
+        assert_eq!(c.waivers.len(), 0);
+        assert_eq!(c.malformed_waivers.len(), 2);
+    }
+}

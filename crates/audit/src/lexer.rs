@@ -1,0 +1,465 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! This is *not* a compliant Rust tokenizer — it is the minimal scanner the
+//! rule engine needs: it distinguishes comments, string/char literals,
+//! numeric literals (with a float/integer split), identifiers, lifetimes,
+//! and a fixed set of compound operators, and it **never fails**: any byte
+//! sequence lexes to a token stream (unknown bytes become
+//! [`TokenKind::Unknown`], unterminated literals run to end of input).
+//! Robustness over fidelity — the analyzer walks arbitrary files and must
+//! not panic on any of them (property-tested in `tests/proptest_lexer.rs`).
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `use`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`42`, `0xFF_u32`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f64`, `1.`).
+    Float,
+    /// String-like literal (`"…"`, `r#"…"#`, `b"…"`, `'c'`).
+    Str,
+    /// `// …` comment (doc comments included; text keeps the slashes).
+    LineComment,
+    /// `/* … */` comment (nesting handled; text keeps the delimiters).
+    BlockComment,
+    /// Operator or punctuation (`==`, `::`, `{`, …).
+    Op,
+    /// Any byte sequence the scanner does not recognize.
+    Unknown,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Source text of the token. For [`TokenKind::Str`] produced from a
+    /// plain `"…"` literal, [`Token::str_content`] recovers the inner text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// For a plain double-quoted string literal, the content between the
+    /// quotes (escapes left as written); `None` for other token kinds and
+    /// raw/byte forms.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let t = self.text.as_str();
+        let inner = t.strip_prefix('"')?.strip_suffix('"')?;
+        Some(inner)
+    }
+}
+
+/// Compound operators recognized greedily (longest match first).
+const OPS: [&str; 25] = [
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "//",
+];
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Scanner {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes characters while `f` holds, appending to `out`.
+    fn take_while(&mut self, out: &mut String, f: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !f(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `source` into tokens. Total: every input produces a token stream,
+/// and no input panics.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut s = Scanner { chars: source.chars().collect(), pos: 0, line: 1, col: 1 };
+    let mut tokens = Vec::new();
+    while let Some(c) = s.peek(0) {
+        let (line, col) = (s.line, s.col);
+        if c.is_whitespace() {
+            s.bump();
+            continue;
+        }
+        let token = if c == '/' && s.peek(1) == Some('/') {
+            lex_line_comment(&mut s)
+        } else if c == '/' && s.peek(1) == Some('*') {
+            lex_block_comment(&mut s)
+        } else if is_string_prefix(&s) || (c == 'r' && s.peek(1) == Some('#')) {
+            // The second arm routes raw identifiers (`r#match`) through the
+            // same scanner, which re-classifies them as idents.
+            lex_string_like(&mut s)
+        } else if c == '\'' {
+            lex_quote(&mut s)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut s)
+        } else if is_ident_start(c) {
+            let mut text = String::new();
+            s.take_while(&mut text, is_ident_continue);
+            (TokenKind::Ident, text)
+        } else {
+            lex_op(&mut s)
+        };
+        tokens.push(Token { kind: token.0, text: token.1, line, col });
+    }
+    tokens
+}
+
+fn lex_line_comment(s: &mut Scanner) -> (TokenKind, String) {
+    let mut text = String::new();
+    s.take_while(&mut text, |c| c != '\n');
+    (TokenKind::LineComment, text)
+}
+
+fn lex_block_comment(s: &mut Scanner) -> (TokenKind, String) {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = s.peek(0) {
+        if c == '/' && s.peek(1) == Some('*') {
+            depth += 1;
+            text.push('/');
+            text.push('*');
+            s.bump();
+            s.bump();
+        } else if c == '*' && s.peek(1) == Some('/') {
+            depth = depth.saturating_sub(1);
+            text.push('*');
+            text.push('/');
+            s.bump();
+            s.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            s.bump();
+        }
+    }
+    (TokenKind::BlockComment, text)
+}
+
+/// Whether the scanner sits on a string-like prefix: `"`, or one of
+/// `r b br c cr` (with optional `#`s for raw forms) directly before a quote.
+fn is_string_prefix(s: &Scanner) -> bool {
+    match s.peek(0) {
+        Some('"') => true,
+        Some('r') | Some('b') | Some('c') => {
+            // b"…", r"…", c"…", br"…", cr"…", r#"…"#, br##"…"##, …
+            let mut i = 1;
+            if (s.peek(0) == Some('b') || s.peek(0) == Some('c')) && s.peek(1) == Some('r') {
+                i = 2;
+            }
+            while s.peek(i) == Some('#') {
+                i += 1;
+            }
+            s.peek(i) == Some('"')
+        }
+        _ => false,
+    }
+}
+
+fn lex_string_like(s: &mut Scanner) -> (TokenKind, String) {
+    let mut text = String::new();
+    // Prefix letters (r/b/c combinations).
+    while matches!(s.peek(0), Some('r') | Some('b') | Some('c')) {
+        text.push(s.peek(0).unwrap_or('r'));
+        s.bump();
+    }
+    let raw = text.contains('r');
+    let mut hashes = 0usize;
+    while s.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        s.bump();
+    }
+    if s.peek(0) != Some('"') {
+        // `r#ident` raw identifier or stray `#`s: re-classify.
+        if is_ident_start(s.peek(0).unwrap_or(' ')) {
+            s.take_while(&mut text, is_ident_continue);
+            return (TokenKind::Ident, text);
+        }
+        return (TokenKind::Unknown, text);
+    }
+    text.push('"');
+    s.bump();
+    if raw {
+        // Scan to `"` followed by `hashes` hash marks.
+        while let Some(c) = s.peek(0) {
+            if c == '"' && (0..hashes).all(|k| s.peek(1 + k) == Some('#')) {
+                text.push('"');
+                s.bump();
+                for _ in 0..hashes {
+                    text.push('#');
+                    s.bump();
+                }
+                break;
+            }
+            text.push(c);
+            s.bump();
+        }
+    } else {
+        while let Some(c) = s.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                s.bump();
+                if let Some(esc) = s.peek(0) {
+                    text.push(esc);
+                    s.bump();
+                }
+            } else if c == '"' {
+                text.push(c);
+                s.bump();
+                break;
+            } else {
+                text.push(c);
+                s.bump();
+            }
+        }
+    }
+    (TokenKind::Str, text)
+}
+
+/// `'` starts either a lifetime (`'a`) or a char literal (`'a'`, `'\n'`).
+fn lex_quote(s: &mut Scanner) -> (TokenKind, String) {
+    let mut text = String::from('\'');
+    s.bump();
+    match s.peek(0) {
+        Some('\\') => {
+            // Escaped char literal.
+            text.push('\\');
+            s.bump();
+            if let Some(esc) = s.peek(0) {
+                text.push(esc);
+                s.bump();
+            }
+            s.take_while(&mut text, |c| c != '\'' && c != '\n');
+            if s.peek(0) == Some('\'') {
+                text.push('\'');
+                s.bump();
+            }
+            (TokenKind::Str, text)
+        }
+        Some(c) if is_ident_start(c) => {
+            if s.peek(1) == Some('\'') {
+                // 'x' char literal.
+                text.push(c);
+                s.bump();
+                text.push('\'');
+                s.bump();
+                (TokenKind::Str, text)
+            } else {
+                // Lifetime: consume the identifier.
+                s.take_while(&mut text, is_ident_continue);
+                (TokenKind::Lifetime, text)
+            }
+        }
+        Some(c) if c != '\'' => {
+            // Non-identifier char literal, e.g. '+' or '0'.
+            text.push(c);
+            s.bump();
+            if s.peek(0) == Some('\'') {
+                text.push('\'');
+                s.bump();
+                (TokenKind::Str, text)
+            } else {
+                (TokenKind::Unknown, text)
+            }
+        }
+        _ => (TokenKind::Unknown, text),
+    }
+}
+
+fn lex_number(s: &mut Scanner) -> (TokenKind, String) {
+    let mut text = String::new();
+    let mut float = false;
+    if s.peek(0) == Some('0') && matches!(s.peek(1), Some('x') | Some('o') | Some('b')) {
+        text.push('0');
+        s.bump();
+        text.push(s.peek(0).unwrap_or('x'));
+        s.bump();
+        s.take_while(&mut text, |c| c.is_ascii_hexdigit() || c == '_');
+    } else {
+        s.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+        // A dot continues the float only when NOT followed by another dot
+        // (range `0..n`) or an identifier (method call `1.max(2)`).
+        if s.peek(0) == Some('.') {
+            let after = s.peek(1);
+            let is_range = after == Some('.');
+            let is_method = after.map(is_ident_start).unwrap_or(false);
+            if !is_range && !is_method {
+                float = true;
+                text.push('.');
+                s.bump();
+                s.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+            }
+        }
+        // Exponent: `e`/`E` with optional sign, only when digits follow.
+        if matches!(s.peek(0), Some('e') | Some('E')) {
+            let (sign, first_digit) = match s.peek(1) {
+                Some('+') | Some('-') => (1, s.peek(2)),
+                other => (0, other),
+            };
+            if first_digit.map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                float = true;
+                for _ in 0..=sign {
+                    text.push(s.peek(0).unwrap_or('e'));
+                    s.bump();
+                }
+                s.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    let before_suffix = text.len();
+    s.take_while(&mut text, is_ident_continue);
+    let suffix = &text[before_suffix..];
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    (if float { TokenKind::Float } else { TokenKind::Int }, text)
+}
+
+fn lex_op(s: &mut Scanner) -> (TokenKind, String) {
+    for op in OPS {
+        if op.chars().enumerate().all(|(i, oc)| s.peek(i) == Some(oc)) {
+            for _ in 0..op.len() {
+                s.bump();
+            }
+            return (TokenKind::Op, op.to_owned());
+        }
+    }
+    let c = s.peek(0).unwrap_or('\u{FFFD}');
+    s.bump();
+    if c.is_ascii_punctuation() {
+        (TokenKind::Op, c.to_string())
+    } else {
+        (TokenKind::Unknown, c.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_ops_and_numbers() {
+        let toks = kinds("let x = a == 1.5e3;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Op, "=".into()),
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Op, "==".into()),
+                (TokenKind::Float, "1.5e3".into()),
+                (TokenKind::Op, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_and_method_dots_stay_integers() {
+        assert_eq!(kinds("0..n")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1.max(2)")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1.")[0].0, TokenKind::Float);
+        assert_eq!(kinds("3.14")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("0xFF")[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn comments_capture_text() {
+        let toks = kinds("x // fbb-audit: allow(FA001) reason\ny");
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert!(toks[1].1.contains("allow(FA001)"));
+        let toks = kinds("/* outer /* nested */ end */ z");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("nested"));
+        assert_eq!(toks[1].1, "z");
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let toks = lex(r####"let s = "a \" b"; let r = r#"raw "quoted""#;"####);
+        let strs: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].str_content(), Some(r#"a \" b"#));
+        assert!(strs[1].text.starts_with("r#\""));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str; 'x'; '\\n'");
+        assert_eq!(toks[1].0, TokenKind::Lifetime);
+        assert_eq!(toks[1].1, "'a");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t == "'x'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t == "'\\n'"));
+    }
+
+    #[test]
+    fn raw_identifiers_and_stray_bytes() {
+        let toks = kinds("r#match b\"bytes\" \u{1F600}");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#match".into()));
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2].0, TokenKind::Unknown);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"", "0x", "1e", "r#"] {
+            let _ = lex(src);
+        }
+    }
+}

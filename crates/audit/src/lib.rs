@@ -1,0 +1,201 @@
+//! `fbb-audit` — repo-invariant static analysis for the clustered-FBB
+//! workspace (Layer 1 of the two-layer audit stack; Layer 2, the ILP model
+//! presolve auditor, lives in `fbb_lp::Model::audit`).
+//!
+//! A hand-rolled lexer ([`lexer`]) feeds a rule engine ([`rules`]) that
+//! enforces conventions clippy cannot express:
+//!
+//! * **FA001** — no `==`/`!=` against float literals in the LP/STA solver
+//!   paths (outside the approved `fbb_lp` approx helpers);
+//! * **FA002** — no `.unwrap()` / empty-reason `.expect("")` in non-test
+//!   library code;
+//! * **FA003** — determinism: no wall-clock reads (`Instant::now`,
+//!   `SystemTime`, `.elapsed()`) in solver layers outside the `fbb-lp`
+//!   deadline module;
+//! * **FA004** — telemetry names are snake_case and carry their layer's
+//!   prefix (`lp_*`, `bnb_*`, `sta_*`, `difftest_*`, …);
+//! * **FA005** — `fault-inject` hooks are referenced only behind the
+//!   feature gate (or in crates that declare the feature in Cargo.toml);
+//! * **FA006** — imports stay within std + the offline `shims/` crates.
+//!
+//! A hit is silenced with an inline waiver on the same line or the line
+//! above — `// fbb-audit: allow(FA003) reported runtime is observability
+//! output` — and every waiver (used or stale) is surfaced in the report.
+//! Malformed waivers are themselves violations (**FA000**).
+//!
+//! The `fixtures/` directory holds planted-violation files (each declaring
+//! a virtual workspace path in a header comment); `audit_fixtures` lints
+//! them to prove the analyzer still bites, which `scripts/check.sh` arms
+//! via `fbb lint --fixtures`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use context::{FileClass, FileCtx, Waiver};
+pub use report::{AuditReport, Finding, WaiverRecord};
+pub use rules::{rule, RuleInfo, RULES};
+
+/// Lints one source file. `rel_path` drives rule scoping, `class` the
+/// test-code exemptions, and `declares_fault_inject` the FA005 Cargo.toml
+/// escape hatch. Returns the findings (waivers already applied) and the
+/// file's waiver records.
+pub fn audit_source(
+    rel_path: &str,
+    class: FileClass,
+    declares_fault_inject: bool,
+    source: &str,
+) -> (Vec<Finding>, Vec<WaiverRecord>) {
+    let ctx = FileCtx::analyze(rel_path, class, declares_fault_inject, source);
+    let mut findings = rules::check_file(&ctx);
+    let mut used = vec![false; ctx.waivers.len()];
+    for f in &mut findings {
+        if f.rule == "FA000" {
+            continue; // waiver-hygiene violations cannot be waived
+        }
+        let matched = ctx.waivers.iter().enumerate().find(|(_, w)| {
+            w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line)
+        });
+        if let Some((i, w)) = matched {
+            f.waived = true;
+            f.waiver_reason = Some(w.reason.clone());
+            used[i] = true;
+        }
+    }
+    let waivers = ctx
+        .waivers
+        .iter()
+        .zip(&used)
+        .map(|(w, &used)| WaiverRecord {
+            rule: w.rule.clone(),
+            path: rel_path.to_owned(),
+            line: w.line,
+            reason: w.reason.clone(),
+            used,
+        })
+        .collect();
+    (findings, waivers)
+}
+
+/// Lints every `.rs` file in the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// I/O errors from the walk or from reading a source file.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let files = walk::workspace_files(root)?;
+    let mut report = AuditReport::default();
+    for file in &files {
+        let bytes = fs::read(&file.abs)?;
+        let source = String::from_utf8_lossy(&bytes);
+        let (findings, waivers) =
+            audit_source(&file.rel, file.class, file.declares_fault_inject, &source);
+        report.findings.extend(findings);
+        report.waivers.extend(waivers);
+    }
+    report.files_scanned = files.len();
+    report.sort();
+    Ok(report)
+}
+
+/// Header every fixture file must start with, declaring the virtual
+/// workspace path the content is linted under.
+pub const FIXTURE_HEADER: &str = "// fbb-audit-fixture:";
+
+/// Optional second header marking the fixture's crate as declaring the
+/// `fault-inject` feature.
+pub const FIXTURE_DECLARES: &str = "// fbb-audit-declares: fault-inject";
+
+/// Lints the planted-violation fixtures under `crates/audit/fixtures` of
+/// the workspace rooted at `root`. Each fixture is linted as if it lived at
+/// the virtual path named in its [`FIXTURE_HEADER`] line.
+///
+/// # Errors
+///
+/// I/O errors, or `InvalidData` for a fixture without a valid header.
+pub fn audit_fixtures(root: &Path) -> io::Result<AuditReport> {
+    let dir = root.join("crates/audit/fixtures");
+    let mut paths: Vec<_> = fs::read_dir(&dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|e| e == "rs").unwrap_or(false))
+        .collect();
+    paths.sort();
+    let mut report = AuditReport::default();
+    for path in &paths {
+        let bytes = fs::read(path)?;
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let first = source.lines().next().unwrap_or("");
+        let Some(virtual_path) = first.strip_prefix(FIXTURE_HEADER).map(str::trim) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: fixture must start with `{FIXTURE_HEADER} <virtual path>`",
+                    path.display()
+                ),
+            ));
+        };
+        let declares = source.lines().nth(1).map(str::trim) == Some(FIXTURE_DECLARES);
+        let (findings, waivers) =
+            audit_source(virtual_path, walk::classify(virtual_path), declares, &source);
+        report.findings.extend(findings);
+        report.waivers.extend(waivers);
+    }
+    report.files_scanned = paths.len();
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_applies_same_line_and_line_above() {
+        let src = "\
+use std::time::Instant;
+fn f() {
+    // fbb-audit: allow(FA003) runtime reporting only
+    let t = Instant::now();
+    let u = Instant::now(); // fbb-audit: allow(FA003) second site
+    let _ = (t, u);
+    let v = Instant::now();
+    let _ = v;
+}
+";
+        let (findings, waivers) =
+            audit_source("crates/lp/src/x.rs", FileClass::Library, false, src);
+        let fa003: Vec<&Finding> = findings.iter().filter(|f| f.rule == "FA003").collect();
+        assert_eq!(fa003.len(), 3);
+        assert_eq!(fa003.iter().filter(|f| f.waived).count(), 2);
+        assert!(waivers.iter().all(|w| w.used));
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_apply() {
+        let src = "// fbb-audit: allow(FA001) wrong rule\nlet t = std::time::Instant::now();";
+        let (findings, waivers) =
+            audit_source("crates/lp/src/x.rs", FileClass::Library, false, src);
+        assert!(findings.iter().any(|f| f.rule == "FA003" && !f.waived));
+        assert!(waivers.iter().all(|w| !w.used));
+    }
+
+    #[test]
+    fn fa000_cannot_be_waived() {
+        let src = "\
+// fbb-audit: allow(FA000) trying to waive the waiver rule
+// fbb-audit: allow(BOGUS) unknown rule id
+fn f() {}
+";
+        let (findings, _) = audit_source("src/x.rs", FileClass::Library, false, src);
+        assert!(findings.iter().any(|f| f.rule == "FA000" && !f.waived));
+    }
+}

@@ -1,0 +1,407 @@
+//! The rule set: repo invariants clippy cannot express.
+//!
+//! Every rule carries a stable ID, a one-line title, and a fix hint. A
+//! finding can be waived inline with
+//! `// fbb-audit: allow(RULE_ID) reason` on the same line or the line
+//! directly above; every waiver is surfaced in the report.
+
+use crate::context::{FileClass, FileCtx};
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable identifier (`FA000`–`FA006`).
+    pub id: &'static str,
+    /// One-line description of the invariant.
+    pub title: &'static str,
+    /// How to fix a hit (or when a waiver is appropriate).
+    pub hint: &'static str,
+}
+
+/// All rules, in ID order.
+pub const RULES: [RuleInfo; 7] = [
+    RuleInfo {
+        id: "FA000",
+        title: "malformed fbb-audit waiver comment",
+        hint: "write `// fbb-audit: allow(RULE_ID) reason` with a non-empty reason; \
+               this rule itself cannot be waived",
+    },
+    RuleInfo {
+        id: "FA001",
+        title: "float literal compared with == / != in a solver path",
+        hint: "compare through the fbb-lp approx helpers (is_zero / is_nonzero / near) \
+               or on integer bit patterns (to_bits)",
+    },
+    RuleInfo {
+        id: "FA002",
+        title: ".unwrap() or empty-reason .expect() in non-test library code",
+        hint: "propagate a Result, or use .expect(\"why this cannot fail\") with a real reason",
+    },
+    RuleInfo {
+        id: "FA003",
+        title: "wall-clock read in a deterministic solver path",
+        hint: "route deadlines through the fbb-lp deadline module; wall-clock belongs only \
+               there, in telemetry spans, and in explicitly waived runtime reporting",
+    },
+    RuleInfo {
+        id: "FA004",
+        title: "telemetry name violates the per-crate prefix convention",
+        hint: "counters/stats/spans must be snake_case and carry their layer's prefix \
+               (lp_/bnb_/audit_ in fbb-lp, sta_/par_ in fbb-sta, ilp_/core_ in fbb-core, \
+               mc_ in fbb-variation, difftest_ in fbb-testkit, cli_ in the CLI)",
+    },
+    RuleInfo {
+        id: "FA005",
+        title: "fault-injection hook referenced outside a fault-inject feature gate",
+        hint: "wrap the reference in #[cfg(feature = \"fault-inject\")] or declare the \
+               feature explicitly on the crate's fbb-lp dependency in Cargo.toml",
+    },
+    RuleInfo {
+        id: "FA006",
+        title: "import of a non-shimmed external crate",
+        hint: "the offline build only provides std and the shims/ crates (rand, rand_chacha, \
+               serde, proptest, criterion); add a shim or gate the dependency",
+    },
+];
+
+/// Looks up a rule by ID.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Telemetry-name prefix convention: crate-root path prefix → allowed name
+/// prefixes. Crates not listed only need snake_case names.
+const TELEMETRY_PREFIXES: [(&str, &[&str]); 6] = [
+    ("crates/lp", &["lp_", "bnb_", "audit_"]),
+    ("crates/sta", &["sta_", "par_"]),
+    ("crates/core", &["ilp_", "core_"]),
+    ("crates/variation", &["mc_"]),
+    ("crates/testkit", &["difftest_"]),
+    ("src", &["cli_"]),
+];
+
+/// Crates importable without a shim: std + the workspace's offline shims.
+const ALLOWED_IMPORT_ROOTS: [&str; 13] = [
+    "std",
+    "core",
+    "alloc",
+    "proc_macro", // rustc-provided, used by the serde_derive shim
+    "crate",
+    "self",
+    "super",
+    "rand",
+    "rand_chacha",
+    "serde",
+    "serde_derive",
+    "proptest",
+    "criterion",
+];
+
+/// Runs every rule over an analyzed file; returns raw findings (waivers not
+/// yet applied — the caller matches them against `ctx.waivers`).
+pub fn check_file(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rule_fa000(ctx, &mut out);
+    rule_fa001(ctx, &mut out);
+    rule_fa002(ctx, &mut out);
+    rule_fa003(ctx, &mut out);
+    rule_fa004(ctx, &mut out);
+    rule_fa005(ctx, &mut out);
+    rule_fa006(ctx, &mut out);
+    // One finding per (rule, line): repeated hits on a line collapse.
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    out
+}
+
+fn push(out: &mut Vec<Finding>, ctx: &FileCtx, id: &'static str, line: u32, col: u32, msg: String) {
+    out.push(Finding {
+        rule: id,
+        path: ctx.rel_path.clone(),
+        line,
+        col,
+        message: msg,
+        waived: false,
+        waiver_reason: None,
+    });
+}
+
+fn starts_with_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// FA000 — malformed waivers are violations wherever they appear.
+fn rule_fa000(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for m in &ctx.malformed_waivers {
+        push(out, ctx, "FA000", m.line, 1, m.problem.clone());
+    }
+    for w in &ctx.waivers {
+        if rule(&w.rule).is_none() {
+            push(
+                out,
+                ctx,
+                "FA000",
+                w.line,
+                1,
+                format!("waiver names unknown rule `{}`", w.rule),
+            );
+        }
+    }
+}
+
+/// FA001 — no `==`/`!=` against float literals in the LP/STA solver paths.
+fn rule_fa001(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !starts_with_any(&ctx.rel_path, &["crates/lp/src", "crates/sta/src"])
+        || ctx.rel_path == "crates/lp/src/approx.rs"
+    {
+        return;
+    }
+    for k in 0..ctx.meaningful.len() {
+        let Some(t) = ctx.mt(k) else { continue };
+        if t.kind != TokenKind::Op || (t.text != "==" && t.text != "!=") || ctx.is_test(k) {
+            continue;
+        }
+        let prev_float = k > 0 && ctx.mt(k - 1).map(|p| p.kind) == Some(TokenKind::Float);
+        let next_float = ctx.mt(k + 1).map(|n| n.kind) == Some(TokenKind::Float);
+        if prev_float || next_float {
+            push(
+                out,
+                ctx,
+                "FA001",
+                t.line,
+                t.col,
+                format!("float literal compared with `{}`", t.text),
+            );
+        }
+    }
+}
+
+/// FA002 — no `.unwrap()` / `.expect("")` in non-test library code.
+fn rule_fa002(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.class != FileClass::Library || ctx.rel_path.starts_with("crates/bench") {
+        return;
+    }
+    for k in 1..ctx.meaningful.len() {
+        let (Some(prev), Some(t)) = (ctx.mt(k - 1), ctx.mt(k)) else { continue };
+        if prev.text != "." || t.kind != TokenKind::Ident || ctx.is_test(k) {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" => {
+                let open = ctx.mt(k + 1).map(|x| x.text == "(") == Some(true);
+                let close = ctx.mt(k + 2).map(|x| x.text == ")") == Some(true);
+                if open && close {
+                    push(out, ctx, "FA002", t.line, t.col, "`.unwrap()` in library code".into());
+                }
+            }
+            "expect" => {
+                let open = ctx.mt(k + 1).map(|x| x.text == "(") == Some(true);
+                let empty = ctx.mt(k + 2).map(|x| x.str_content() == Some("")) == Some(true);
+                if open && empty {
+                    push(
+                        out,
+                        ctx,
+                        "FA002",
+                        t.line,
+                        t.col,
+                        "`.expect(\"\")` carries no reason".into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// FA003 — determinism: no wall-clock reads in solver layers.
+fn rule_fa003(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let scope =
+        ["crates/lp/src", "crates/sta/src", "crates/core/src", "crates/variation/src"];
+    if !starts_with_any(&ctx.rel_path, &scope) || ctx.rel_path == "crates/lp/src/deadline.rs" {
+        return;
+    }
+    for k in 0..ctx.meaningful.len() {
+        let Some(t) = ctx.mt(k) else { continue };
+        if t.kind != TokenKind::Ident || ctx.is_test(k) {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "SystemTime" => Some("SystemTime"),
+            "Instant" => {
+                let path_now = ctx.mt(k + 1).map(|x| x.text == "::") == Some(true)
+                    && ctx.mt(k + 2).map(|x| x.text == "now") == Some(true);
+                path_now.then_some("Instant::now")
+            }
+            "elapsed" => {
+                let method = k > 0
+                    && ctx.mt(k - 1).map(|x| x.text == ".") == Some(true)
+                    && ctx.mt(k + 1).map(|x| x.text == "(") == Some(true);
+                method.then_some(".elapsed()")
+            }
+            _ => None,
+        };
+        if let Some(what) = hit {
+            push(
+                out,
+                ctx,
+                "FA003",
+                t.line,
+                t.col,
+                format!("wall-clock read (`{what}`) in a deterministic solver path"),
+            );
+        }
+    }
+}
+
+/// FA004 — telemetry counter/stat/span naming conventions.
+fn rule_fa004(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let crate_prefixes: Option<&[&str]> = TELEMETRY_PREFIXES
+        .iter()
+        .find(|(root, _)| {
+            ctx.rel_path.starts_with(&format!("{root}/")) || ctx.rel_path == *root
+        })
+        .map(|(_, p)| *p);
+    for k in 2..ctx.meaningful.len() {
+        let Some(t) = ctx.mt(k) else { continue };
+        if t.kind != TokenKind::Ident
+            || !matches!(t.text.as_str(), "counter" | "record" | "span" | "time")
+            || ctx.is_test(k)
+        {
+            continue;
+        }
+        let qualified = ctx.mt(k - 1).map(|x| x.text == "::") == Some(true)
+            && ctx
+                .mt(k - 2)
+                .map(|x| x.text == "fbb_telemetry" || x.text == "telemetry")
+                == Some(true);
+        if !qualified || ctx.mt(k + 1).map(|x| x.text == "(") != Some(true) {
+            continue;
+        }
+        let Some(name_tok) = ctx.mt(k + 2) else { continue };
+        let Some(name) = name_tok.str_content() else { continue };
+        let snake = !name.is_empty()
+            && name.chars().next().map(|c| c.is_ascii_lowercase()).unwrap_or(false)
+            && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if !snake {
+            push(
+                out,
+                ctx,
+                "FA004",
+                name_tok.line,
+                name_tok.col,
+                format!("telemetry name `{name}` is not lower_snake_case"),
+            );
+            continue;
+        }
+        if let Some(prefixes) = crate_prefixes {
+            if !prefixes.iter().any(|p| name.starts_with(p)) {
+                push(
+                    out,
+                    ctx,
+                    "FA004",
+                    name_tok.line,
+                    name_tok.col,
+                    format!(
+                        "telemetry name `{name}` misses this layer's prefix ({})",
+                        prefixes.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// FA005 — fault hooks stay behind the `fault-inject` feature.
+fn rule_fa005(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.rel_path == "crates/lp/src/fault.rs" || ctx.declares_fault_inject {
+        // fault.rs *is* the hook module (compiled only under the feature);
+        // crates that enable the feature in Cargo.toml may reference hooks
+        // unconditionally.
+        return;
+    }
+    let in_lp = ctx.rel_path.starts_with("crates/lp/src");
+    for k in 0..ctx.meaningful.len() {
+        let Some(t) = ctx.mt(k) else { continue };
+        if t.kind != TokenKind::Ident || ctx.is_fault_gated(k) || ctx.is_test(k) {
+            continue;
+        }
+        let hook_ident =
+            matches!(t.text.as_str(), "with_flipped_pivot_sign" | "with_iteration_limit");
+        let fault_path = t.text == "fault"
+            && k >= 2
+            && ctx.mt(k - 1).map(|x| x.text == "::") == Some(true)
+            && ctx
+                .mt(k - 2)
+                .map(|x| {
+                    let seg = x.text.as_str();
+                    seg == "lp" || seg == "fbb_lp" || (in_lp && seg == "crate")
+                })
+                == Some(true);
+        if hook_ident || fault_path {
+            push(
+                out,
+                ctx,
+                "FA005",
+                t.line,
+                t.col,
+                format!("`{}` referenced outside a fault-inject gate", t.text),
+            );
+        }
+    }
+}
+
+/// FA006 — only shimmed/workspace crates may be imported.
+fn rule_fa006(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    // Uniform paths: `use` may start with a module declared in this file
+    // (`pub use bnb::…` in a crate root), so those names are allowed roots.
+    let mut local_mods: Vec<&str> = Vec::new();
+    for k in 0..ctx.meaningful.len() {
+        if ctx.mt(k).map(|t| t.kind == TokenKind::Ident && t.text == "mod") == Some(true) {
+            if let Some(name) = ctx.mt(k + 1) {
+                if name.kind == TokenKind::Ident {
+                    local_mods.push(name.text.as_str());
+                }
+            }
+        }
+    }
+    for k in 0..ctx.meaningful.len() {
+        let Some(t) = ctx.mt(k) else { continue };
+        if t.kind != TokenKind::Ident || t.text != "use" {
+            continue;
+        }
+        // Statement position: start of file or after `;`, `}`, `{`, an
+        // attribute `]`, or visibility (`pub`, `pub(crate)`).
+        let stmt = k == 0
+            || ctx
+                .mt(k - 1)
+                .map(|p| matches!(p.text.as_str(), ";" | "}" | "{" | "]" | "pub" | ")"))
+                == Some(true);
+        if !stmt {
+            continue;
+        }
+        let mut s = k + 1;
+        if ctx.mt(s).map(|x| x.text == "::") == Some(true) {
+            s += 1;
+        }
+        let Some(seg) = ctx.mt(s) else { continue };
+        if seg.kind != TokenKind::Ident {
+            continue; // `use {..}` grouping or macro-generated oddity
+        }
+        let root = seg.text.as_str();
+        let allowed = ALLOWED_IMPORT_ROOTS.contains(&root)
+            || root.starts_with("fbb")
+            || local_mods.contains(&root);
+        if !allowed {
+            push(
+                out,
+                ctx,
+                "FA006",
+                seg.line,
+                seg.col,
+                format!("import of non-shimmed external crate `{root}`"),
+            );
+        }
+    }
+}

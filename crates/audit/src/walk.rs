@@ -1,0 +1,152 @@
+//! Deterministic workspace walker: finds every `.rs` file, classifies it,
+//! and resolves which crate (and therefore which `Cargo.toml`) owns it.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::context::FileClass;
+
+/// A source file discovered in the workspace.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Build role (rules scope on this).
+    pub class: FileClass,
+    /// Whether the owning crate's manifest enables `fault-inject` on its
+    /// `fbb-lp` dependency.
+    pub declares_fault_inject: bool,
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "node_modules", ".claude"];
+
+/// The planted-violation fixtures are data, not workspace code.
+const FIXTURE_DIR: &str = "crates/audit/fixtures";
+
+/// Walks the workspace rooted at `root` (its `Cargo.toml` must declare
+/// `[workspace]`) and returns every `.rs` file in deterministic order.
+///
+/// # Errors
+///
+/// I/O errors from the walk, or `InvalidInput` when `root` is not a
+/// workspace root.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml")).map_err(|e| {
+        io::Error::new(e.kind(), format!("{}: not a workspace root: {e}", root.display()))
+    })?;
+    if !manifest.contains("[workspace]") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{}: Cargo.toml has no [workspace] section", root.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    walk_dir(root, root, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            let rel = relative(root, &path);
+            if rel == FIXTURE_DIR {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = relative(root, &path);
+            out.push(SourceFile {
+                class: classify(&rel),
+                declares_fault_inject: crate_declares_fault_inject(root, &rel),
+                abs: path,
+                rel,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Classifies a workspace-relative path into its build role.
+pub fn classify(rel: &str) -> FileClass {
+    let test_like = rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/");
+    if test_like {
+        FileClass::TestLike
+    } else if rel.contains("/bin/") || rel.ends_with("src/main.rs") || rel == "build.rs" {
+        FileClass::Binary
+    } else {
+        FileClass::Library
+    }
+}
+
+/// Whether the crate owning `rel` enables the `fault-inject` feature on a
+/// dependency in its `Cargo.toml` (quoted occurrences only — the feature's
+/// *definition* line `fault-inject = []` in fbb-lp does not count).
+fn crate_declares_fault_inject(root: &Path, rel: &str) -> bool {
+    let manifest = crate_manifest(rel);
+    fs::read_to_string(root.join(manifest))
+        .map(|text| {
+            text.lines()
+                .filter(|l| !l.trim_start().starts_with('#'))
+                .any(|l| l.contains("\"fault-inject\""))
+        })
+        .unwrap_or(false)
+}
+
+/// Manifest path for the crate owning a workspace-relative source path.
+fn crate_manifest(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.len() >= 2 && (parts[0] == "crates" || parts[0] == "shims") {
+        format!("{}/{}/Cargo.toml", parts[0], parts[1])
+    } else {
+        "Cargo.toml".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/lp/src/model.rs"), FileClass::Library);
+        assert_eq!(classify("src/lib.rs"), FileClass::Library);
+        assert_eq!(classify("src/bin/fbb.rs"), FileClass::Binary);
+        assert_eq!(classify("crates/bench/src/bin/table1.rs"), FileClass::Binary);
+        assert_eq!(classify("tests/cli_status.rs"), FileClass::TestLike);
+        assert_eq!(classify("crates/lp/tests/proptest_solver.rs"), FileClass::TestLike);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::TestLike);
+    }
+
+    #[test]
+    fn manifest_resolution() {
+        assert_eq!(crate_manifest("crates/lp/src/model.rs"), "crates/lp/Cargo.toml");
+        assert_eq!(crate_manifest("shims/rand/src/lib.rs"), "shims/rand/Cargo.toml");
+        assert_eq!(crate_manifest("src/bin/fbb.rs"), "Cargo.toml");
+        assert_eq!(crate_manifest("tests/end_to_end.rs"), "Cargo.toml");
+    }
+}

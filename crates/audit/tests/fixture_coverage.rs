@@ -1,0 +1,90 @@
+//! The planted-violation fixtures are the analyzer's own regression armor:
+//! every rule must fire on them (a blind rule means the analyzer rotted),
+//! every rule's waiver path must be exercised, and the deliberately stale
+//! waiver must be surfaced.
+
+use std::path::Path;
+
+use fbb_audit::{audit_fixtures, AuditReport, RULES};
+
+fn fixtures() -> AuditReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/audit sits two levels under the workspace root");
+    audit_fixtures(root).expect("fixtures directory lints")
+}
+
+#[test]
+fn every_rule_fires_on_the_fixtures() {
+    let report = fixtures();
+    let fired = report.rules_fired();
+    for rule in RULES {
+        assert!(
+            fired.contains(&rule.id),
+            "rule {} produced no finding on the fixtures — planted violation lost?\n{}",
+            rule.id,
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_an_unwaived_violation() {
+    let report = fixtures();
+    for rule in RULES {
+        assert!(
+            report.violations().any(|f| f.rule == rule.id),
+            "rule {} has only waived hits; the fixture gate needs a live violation",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn every_waivable_rule_exercises_the_waiver_path() {
+    let report = fixtures();
+    for rule in RULES.iter().filter(|r| r.id != "FA000") {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule.id && f.waived),
+            "rule {} has no waived fixture hit — waiver matching untested",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn fa000_is_never_waived_even_in_fixtures() {
+    let report = fixtures();
+    assert!(report.findings.iter().any(|f| f.rule == "FA000"));
+    assert!(report.findings.iter().filter(|f| f.rule == "FA000").all(|f| !f.waived));
+}
+
+#[test]
+fn the_unknown_rule_waiver_is_surfaced_as_stale() {
+    let report = fixtures();
+    assert!(
+        report.waivers.iter().any(|w| w.rule == "FA999" && !w.used),
+        "the fa000 fixture's unknown-rule waiver must show up stale"
+    );
+}
+
+#[test]
+fn fixture_virtual_paths_scope_the_rules() {
+    let report = fixtures();
+    // FA001 only fires under crates/lp or crates/sta: the FA001 fixture
+    // declares a crates/lp virtual path, so every FA001 finding is there.
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "FA001")
+        .all(|f| f.path.starts_with("crates/lp/") || f.path.starts_with("crates/sta/")));
+    // Every fixture ends with a #[cfg(test)] module that would fire its own
+    // rule; the test-code exemption must keep all of those silent. The FA001
+    // fixture's test module sits past line 17 — nothing may fire there.
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| f.path == "crates/lp/src/planted_fa001.rs")
+        .all(|f| f.line < 18));
+}

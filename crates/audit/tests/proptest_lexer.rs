@@ -1,0 +1,71 @@
+//! Robustness properties: the analyzer is fed every `.rs` file in the tree
+//! (and, via fixtures, deliberately hostile content), so it must never panic
+//! and must preserve basic token invariants on arbitrary input.
+
+use fbb_audit::lexer::{lex, TokenKind};
+use fbb_audit::{audit_source, FileClass};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Bytes weighted toward the characters that steer the lexer's state
+/// machine: quotes, slashes, braces, digits, and raw-string guts.
+fn rusty_bytes() -> impl Strategy<Value = Vec<u8>> {
+    let alphabet = b"\"'/*#rb\\ \n\t{}()[]=!.:;_09azAZ\xff\x00";
+    vec(0..alphabet.len(), 0..256)
+        .prop_map(move |idx| idx.into_iter().map(|i| alphabet[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..512)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = lex(&source);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_rusty_soup(bytes in rusty_bytes()) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&source);
+        for t in &tokens {
+            prop_assert!(t.line >= 1, "lines are 1-based");
+            prop_assert!(t.col >= 1, "cols are 1-based");
+            prop_assert!(!t.text.is_empty(), "no empty tokens");
+        }
+        // Lines never decrease across the stream.
+        for w in tokens.windows(2) {
+            prop_assert!(w[0].line <= w[1].line);
+        }
+    }
+
+    #[test]
+    fn full_audit_never_panics_on_rusty_soup(bytes in rusty_bytes()) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        // The solver-path scoping makes crates/lp the rule-densest target.
+        let (findings, waivers) =
+            audit_source("crates/lp/src/soup.rs", FileClass::Library, false, &source);
+        // Waived findings always carry their reason.
+        for f in findings.iter().filter(|f| f.waived) {
+            prop_assert!(f.waiver_reason.is_some());
+        }
+        let _ = waivers;
+    }
+
+    #[test]
+    fn lexed_text_reassembles_into_the_source(ws in vec(0..3usize, 0..64)) {
+        // Token text concatenated with the skipped whitespace must account
+        // for every input byte: build a source from known tokens + noise.
+        let parts = ["fn", "0.5", "==", "\"s\"", "// c\n", "ident"];
+        let source: String = ws.iter().map(|&i| parts[i % parts.len()]).collect();
+        let total: usize = lex(&source).iter().map(|t| t.text.len()).sum();
+        prop_assert!(total <= source.len());
+    }
+}
+
+#[test]
+fn token_kinds_cover_basics() {
+    let toks = lex("fn f() { 1.0 == x /* b */ }");
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Float && t.text == "1.0"));
+    assert!(toks.iter().any(|t| t.kind == TokenKind::BlockComment));
+}

@@ -1,0 +1,29 @@
+//! Lints the actual workspace tree. This is the same scan `fbb lint` (and
+//! the check.sh gate) runs; keeping it as a test means `cargo test` alone
+//! catches a newly introduced violation.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/audit -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().and_then(Path::parent).expect("workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = fbb_audit::audit_workspace(workspace_root()).expect("scan workspace");
+    assert!(report.files_scanned > 20, "walker found too few files: {}", report.files_scanned);
+    assert!(report.is_clean(), "workspace has lint violations:\n{}", report.summary());
+}
+
+#[test]
+fn workspace_has_no_stale_waivers() {
+    let report = fbb_audit::audit_workspace(workspace_root()).expect("scan workspace");
+    let stale: Vec<String> = report
+        .waivers
+        .iter()
+        .filter(|w| !w.used)
+        .map(|w| format!("{}:{} {}", w.path, w.line, w.rule))
+        .collect();
+    assert!(stale.is_empty(), "stale waivers present: {stale:?}");
+}

@@ -1,6 +1,6 @@
 //! The block-level single-voltage baseline ("Single BB" in Table 1).
 
-use std::time::Instant;
+use fbb_lp::deadline::Stopwatch;
 
 use crate::{pass_one, ClusterSolution, FbbError, Preprocessed};
 
@@ -13,13 +13,13 @@ use crate::{pass_one, ClusterSolution, FbbError, Preprocessed};
 ///
 /// Returns [`FbbError::Uncompensable`] when no ladder voltage compensates β.
 pub fn single_bb(pre: &Preprocessed) -> Result<ClusterSolution, FbbError> {
-    let start = Instant::now();
+    let clock = Stopwatch::start();
     let jopt = pass_one(pre).ok_or_else(|| FbbError::uncompensable(pre))?;
     Ok(ClusterSolution::from_assignment(
         pre,
         vec![jopt; pre.n_rows],
         "single-bb",
-        start.elapsed(),
+        clock.runtime(),
     ))
 }
 

@@ -1,6 +1,6 @@
 //! The two-pass linear-time heuristic (paper Fig. 5).
 
-use std::time::Instant;
+use fbb_lp::deadline::Stopwatch;
 
 use fbb_sta::par;
 use serde::{Deserialize, Serialize};
@@ -135,7 +135,7 @@ impl TwoPassHeuristic {
     ///
     /// Returns [`FbbError::Uncompensable`] when `PassOne` fails.
     pub fn solve(&self, pre: &Preprocessed) -> Result<ClusterSolution, FbbError> {
-        let start = Instant::now();
+        let clock = Stopwatch::start();
         let jopt = pass_one(pre).ok_or_else(|| FbbError::uncompensable(pre))?;
         let assignment = self.pass_two(pre, jopt);
         let algorithm = match self.policy {
@@ -143,7 +143,7 @@ impl TwoPassHeuristic {
             DescentPolicy::BlockSynchronous => "heuristic-block",
             DescentPolicy::Literal => "heuristic-literal",
         };
-        Ok(ClusterSolution::from_assignment(pre, assignment, algorithm, start.elapsed()))
+        Ok(ClusterSolution::from_assignment(pre, assignment, algorithm, clock.runtime()))
     }
 
     /// Like [`TwoPassHeuristic::solve`], but only levels in `allowed` (plus
@@ -161,7 +161,7 @@ impl TwoPassHeuristic {
         pre: &Preprocessed,
         allowed: &[usize],
     ) -> Result<ClusterSolution, FbbError> {
-        let start = Instant::now();
+        let clock = Stopwatch::start();
         let jopt = pass_one_restricted(pre, allowed)
             .ok_or_else(|| FbbError::uncompensable(pre))?;
         let assignment =
@@ -175,7 +175,7 @@ impl TwoPassHeuristic {
             pre,
             assignment,
             "heuristic-restricted",
-            start.elapsed(),
+            clock.runtime(),
         ))
     }
 

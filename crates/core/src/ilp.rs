@@ -1,8 +1,8 @@
 //! The exact ILP formulation (paper Eq. 1–5).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use fbb_lp::{solve_mip, MipOptions, MipStatus, Model, Sense};
+use fbb_lp::{solve_mip, MipOptions, MipStatus, Model, Sense, VarKind};
 
 use crate::{ClusterSolution, FbbError, Preprocessed, TwoPassHeuristic};
 
@@ -115,6 +115,118 @@ impl IlpAllocator {
         Ok(model)
     }
 
+    /// Audits a model produced by [`IlpAllocator::build_model`] against the
+    /// paper's Eq. 1–5 structure: the variable layout, the Eq. 3 one-hot
+    /// rows (every `x[i][j]` in *exactly one* assignment row — a dangling
+    /// or doubly-assigned binary is how an encoding bug typically
+    /// manifests), the Eq. 4 linking rows, and a budget row consistent with
+    /// `C`. Returns one message per structural issue (empty = sound); the
+    /// generic numerical defects are covered by [`Model::audit`], which
+    /// this calls first.
+    pub fn audit_structure(pre: &Preprocessed, model: &Model) -> Vec<String> {
+        let n = pre.n_rows;
+        let p = pre.levels;
+        let n_paths = pre.paths.len();
+        let mut issues: Vec<String> =
+            model.audit().errors().map(|d| format!("model defect: {}", d.message)).collect();
+
+        if model.var_count() != n * p + p {
+            issues.push(format!(
+                "expected {} variables ({n} rows x {p} levels + {p} cluster indicators), \
+                 found {}",
+                n * p + p,
+                model.var_count()
+            ));
+            return issues; // layout is off; positional checks below would mislead
+        }
+        if model.constraint_count() != n + n_paths + p + 1 {
+            issues.push(format!(
+                "expected {} constraints ({n} one-hot + {n_paths} path + {p} linking + \
+                 1 budget), found {}",
+                n + n_paths + p + 1,
+                model.constraint_count()
+            ));
+            return issues;
+        }
+        for j in 0..n * p + p {
+            if model.var_kind(j) != Some(VarKind::Integer)
+                || model.var_bounds(j) != Some((0.0, 1.0))
+            {
+                issues.push(format!("variable {j} is not a 0/1 binary"));
+            }
+        }
+
+        // Eq. 3: each x[i][j] must appear in exactly one one-hot row.
+        let mut one_hot_uses = vec![0usize; n * p];
+        for (i, row) in model.rows().take(n).enumerate() {
+            if row.sense != Sense::Eq || row.rhs != 1.0 {
+                issues.push(format!("one-hot row {i} is not an `= 1` equality"));
+            }
+            for &(v, a) in row.terms {
+                if v >= n * p {
+                    issues.push(format!(
+                        "one-hot row {i} references cluster indicator y[{}]",
+                        v - n * p
+                    ));
+                } else {
+                    if a != 1.0 {
+                        issues
+                            .push(format!("one-hot row {i} has coefficient {a} on x[{v}]"));
+                    }
+                    one_hot_uses[v] += 1;
+                }
+            }
+        }
+        for (v, &uses) in one_hot_uses.iter().enumerate() {
+            if uses != 1 {
+                issues.push(format!(
+                    "x[{}][{}] appears in {uses} one-hot rows (expected exactly 1)",
+                    v / p,
+                    v % p
+                ));
+            }
+        }
+
+        // Eq. 4 linking: Σ_i x[i][j] − N·y[j] ≤ 0 for each level j.
+        for (k, row) in model.rows().skip(n + n_paths).take(p).enumerate() {
+            let ok = row.sense == Sense::Le
+                && row.rhs == 0.0
+                && row.terms.iter().filter(|&&(v, _)| v >= n * p).count() == 1
+                && row
+                    .terms
+                    .iter()
+                    .find(|&&(v, _)| v >= n * p)
+                    .is_some_and(|&(v, a)| v == n * p + k && a == -(n as f64));
+            if !ok {
+                issues.push(format!(
+                    "linking row for level {k} does not have the `sum x - N*y <= 0` shape"
+                ));
+            }
+        }
+
+        // Eq. 4 budget: Σ_j y[j] ≤ C over exactly the cluster indicators.
+        let budget = model.row(n + n_paths + p).expect("budget row index checked above");
+        if budget.sense != Sense::Le
+            || budget.rhs != pre.max_clusters as f64
+            || budget.terms.len() != p
+            || !budget.terms.iter().all(|&(v, a)| v >= n * p && a == 1.0)
+        {
+            issues.push(format!(
+                "budget row is not `sum y <= C` with C = {}",
+                pre.max_clusters
+            ));
+        }
+        if pre.max_clusters == 0 {
+            issues.push("cluster budget C = 0 admits no assignment".to_owned());
+        } else if pre.max_clusters > p {
+            issues.push(format!(
+                "cluster budget C = {} exceeds the {p} ladder levels (budget is vacuous)",
+                pre.max_clusters
+            ));
+        }
+        issues
+    }
+
     /// Solves the ILP: builds the model (constraint generation runs on the
     /// [`fbb_sta::par`] worker pool), warm-starts from the heuristic unless
     /// [`IlpAllocator::cold_start`] is set, and runs branch & bound.
@@ -148,12 +260,17 @@ impl IlpAllocator {
     /// Propagates [`FbbError::Solver`] on numerical failure.
     pub fn solve(&self, pre: &Preprocessed) -> Result<IlpOutcome, FbbError> {
         let _ilp_span = fbb_telemetry::span("ilp_solve");
-        let start = Instant::now();
+        let clock = fbb_lp::deadline::Stopwatch::start();
         let model = self.build_model(pre)?;
         if fbb_telemetry::is_enabled() {
             fbb_telemetry::counter("ilp_solves", 1);
             fbb_telemetry::counter("ilp_variables", model.var_count() as u64);
             fbb_telemetry::counter("ilp_constraints", model.constraint_count() as u64);
+            // Structure audit is observability only; a generator bug shows
+            // up here long before the solver's verdict gets confusing.
+            let issues = Self::audit_structure(pre, &model);
+            fbb_telemetry::counter("ilp_audit_runs", 1);
+            fbb_telemetry::counter("ilp_audit_structure_issues", issues.len() as u64);
         }
 
         let incumbent = if self.cold_start {
@@ -171,7 +288,7 @@ impl IlpAllocator {
             ..MipOptions::default()
         };
         let mip = solve_mip(&model, &options, incumbent)?;
-        let runtime = start.elapsed();
+        let runtime = clock.runtime();
 
         let solution = match mip.status {
             MipStatus::Optimal | MipStatus::Feasible => {
@@ -246,6 +363,115 @@ mod tests {
             model.constraint_count(),
             pre.n_rows + pre.paths.len() + pre.levels + 1
         );
+    }
+
+    #[test]
+    fn generated_model_passes_both_audit_layers() {
+        for (beta, c) in [(0.05, 3), (0.10, 2)] {
+            let pre = pre(beta, c);
+            let model = IlpAllocator::default().build_model(&pre).unwrap();
+            let audit = model.audit();
+            assert!(audit.is_sound(), "beta={beta} C={c}:\n{}", audit.summary());
+            let issues = IlpAllocator::audit_structure(&pre, &model);
+            assert!(issues.is_empty(), "beta={beta} C={c}: {issues:?}");
+        }
+    }
+
+    #[test]
+    fn structure_audit_catches_planted_defects() {
+        let pre = pre(0.05, 3);
+        let reference = IlpAllocator::default().build_model(&pre).unwrap();
+        let n = pre.n_rows;
+        let p = pre.levels;
+        let n_paths = pre.paths.len();
+
+        // Rebuilds the model with one deliberate defect each, checking the
+        // audit names the planted problem.
+        struct Case {
+            name: &'static str,
+            expect: &'static str,
+            build: fn(&Preprocessed) -> Model,
+        }
+        let cases = [
+            Case {
+                name: "dangling one-hot binary",
+                expect: "one-hot rows",
+                build: |pre| {
+                    // Drop x[0][0] from its assignment row: the binary
+                    // dangles (appears in 0 one-hot rows).
+                    let mut m = Model::new();
+                    let (n, p) = (pre.n_rows, pre.levels);
+                    for i in 0..n {
+                        for j in 0..p {
+                            m.add_binary(pre.row_leakage_nw[i][j]);
+                        }
+                    }
+                    for _ in 0..p {
+                        m.add_binary(0.0);
+                    }
+                    for i in 0..n {
+                        let terms =
+                            (0..p).map(|j| (i * p + j, 1.0)).skip(usize::from(i == 0));
+                        m.add_constraint(terms.collect(), Sense::Eq, 1.0).unwrap();
+                    }
+                    pad_to_reference(pre, m)
+                },
+            },
+            Case {
+                name: "budget inconsistent with C",
+                expect: "budget row",
+                build: |pre| {
+                    // A valid model for a *different* budget: auditing it
+                    // against the original `pre` must flag the mismatch.
+                    let mut wrong = pre.clone();
+                    wrong.max_clusters += 1;
+                    IlpAllocator::default().build_model(&wrong).unwrap()
+                },
+            },
+        ];
+        fn pad_to_reference(pre: &Preprocessed, mut m: Model) -> Model {
+            let (n, p) = (pre.n_rows, pre.levels);
+            for path in &pre.paths {
+                let mut terms = Vec::new();
+                for (row, reds) in &path.rows {
+                    for (j, &a) in reds.iter().enumerate() {
+                        if a != 0.0 {
+                            terms.push((row * p + j, a));
+                        }
+                    }
+                }
+                terms.sort_unstable_by_key(|&(v, _)| v);
+                m.add_constraint(terms, Sense::Ge, path.required_reduction_ps).unwrap();
+            }
+            for j in 0..p {
+                let mut terms: Vec<(usize, f64)> =
+                    (0..n).map(|i| (i * p + j, 1.0)).collect();
+                terms.push((n * p + j, -(n as f64)));
+                m.add_constraint(terms, Sense::Le, 0.0).unwrap();
+            }
+            m.add_constraint(
+                (0..p).map(|j| (n * p + j, 1.0)).collect(),
+                Sense::Le,
+                pre.max_clusters as f64,
+            )
+            .unwrap();
+            m
+        }
+
+        // Sanity: the reference model and the padding helper agree.
+        assert!(IlpAllocator::audit_structure(&pre, &reference).is_empty());
+        assert_eq!(reference.constraint_count(), n + n_paths + p + 1);
+
+        for case in &cases {
+            let model = (case.build)(&pre);
+            let issues = IlpAllocator::audit_structure(&pre, &model);
+            assert!(
+                issues.iter().any(|m| m.contains(case.expect)),
+                "{}: expected an issue mentioning {:?}, got {issues:?}",
+                case.name,
+                case.expect
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Approved floating-point comparison helpers.
+//!
+//! This module is the only place in the `fbb-lp`/`fbb-sta` solver paths
+//! allowed to compare floats with `==`/`!=` (enforced by the `fbb-audit`
+//! FA001 rule). Centralizing the comparisons makes every exact-equality
+//! site greppable and keeps the intent — *exact* sparsity tests vs
+//! *tolerant* numerical tests — explicit at the call site.
+
+/// Exact-zero test, used for sparsity decisions (skip a column, drop an
+/// eta entry). Exactness is intentional: a value is either stored as a
+/// structural zero or it is not; a tolerance here would silently change
+/// fill-in, not accuracy.
+#[inline]
+#[must_use]
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Negation of [`is_zero`]; the common guard before scatter/axpy work.
+#[inline]
+#[must_use]
+pub fn is_nonzero(x: f64) -> bool {
+    x != 0.0
+}
+
+/// Tolerant equality: `|a - b| <= tol`. For numerical comparisons where a
+/// drifted value should still count as equal. `NaN` never compares near.
+#[inline]
+#[must_use]
+pub fn near(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tests_are_exact() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(-0.0));
+        assert!(!is_zero(1e-300));
+        assert!(is_nonzero(f64::MIN_POSITIVE));
+        assert!(is_nonzero(f64::NAN)); // NaN != 0.0 — callers treat it as "must process"
+    }
+
+    #[test]
+    fn near_uses_absolute_tolerance() {
+        assert!(near(1.0, 1.0 + 1e-10, 1e-9));
+        assert!(!near(1.0, 1.1, 1e-9));
+        assert!(!near(f64::NAN, f64::NAN, 1e-9));
+    }
+}

@@ -12,7 +12,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
@@ -148,9 +148,14 @@ pub fn solve_mip(
     options: &MipOptions,
     incumbent: Option<(f64, Vec<f64>)>,
 ) -> Result<MipSolution, LpError> {
-    let _mip_span = fbb_telemetry::span("mip_solve");
+    let _mip_span = fbb_telemetry::span("bnb_solve");
     model.validate()?;
-    let start = Instant::now();
+    if fbb_telemetry::is_enabled() {
+        // Layer-2 audit (DESIGN.md §5g): observability only — defects are
+        // published as audit_* counters, never change the solve result.
+        model.audit().emit_telemetry();
+    }
+    let clock = crate::deadline::Stopwatch::start();
     let n = model.var_count();
     let int_vars: Vec<usize> = (0..n).filter(|&j| model.vars[j].kind == VarKind::Integer).collect();
 
@@ -199,12 +204,10 @@ pub fn solve_mip(
         // final bound is computed from the open nodes, and silently dropping
         // the minimum-bound node would overstate `best_bound` (and understate
         // the reported gap).
-        if let Some(tl) = options.time_limit {
-            if start.elapsed() >= tl {
-                limit_hit = true;
-                heap.push(node);
-                break;
-            }
+        if clock.expired_after(options.time_limit) {
+            limit_hit = true;
+            heap.push(node);
+            break;
         }
         if let Some(nl) = options.node_limit {
             if nodes >= nl {
@@ -215,7 +218,7 @@ pub fn solve_mip(
         }
         nodes += 1;
 
-        let deadline = options.time_limit.map(|tl| start + tl);
+        let deadline = clock.deadline_after(options.time_limit);
         // Warm-start from the parent basis when we have one; a warm-path
         // bailout (`Ok(None)`) re-solves the same node cold.
         let warm_basis = if options.warm_start { node.basis.as_deref() } else { None };
@@ -334,7 +337,7 @@ pub fn solve_mip(
         heap.peek().map_or(f64::NEG_INFINITY, |top| top.bound)
     };
 
-    let elapsed = start.elapsed();
+    let elapsed = clock.runtime();
     let status = if root_unbounded {
         MipStatus::Unbounded
     } else {

@@ -1,0 +1,79 @@
+//! The solver stack's single wall-clock authority.
+//!
+//! Determinism policy (enforced by the `fbb-audit` FA003 rule): solver
+//! layers never read the clock directly — every `Instant::now()` and
+//! elapsed-time read in `fbb-lp`, `fbb-sta`, `fbb-core`, and
+//! `fbb-variation` goes through this module (or a telemetry span). That
+//! keeps wall-clock influence on solver *behavior* confined to two
+//! auditable operations: deadline polling ([`reached`]) and runtime
+//! reporting ([`Stopwatch::runtime`]).
+
+use std::time::{Duration, Instant};
+
+/// Whether the absolute deadline `d` has passed. The simplex engines poll
+/// this every 64 iterations; it is the only clock read on the LP hot path.
+#[inline]
+#[must_use]
+pub fn reached(d: Instant) -> bool {
+    Instant::now() >= d
+}
+
+/// A started timer: measures runtime for stats/telemetry and derives
+/// absolute deadlines from relative limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the timer.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Time since [`Stopwatch::start`]. Named `runtime` (not `elapsed`)
+    /// because the result is observability output — solver decisions use
+    /// [`Stopwatch::expired_after`] / [`reached`] instead.
+    #[must_use]
+    pub fn runtime(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The absolute deadline `limit` after the start, for handing to the
+    /// LP engines' `deadline: Option<Instant>` parameter.
+    #[must_use]
+    pub fn deadline_after(&self, limit: Option<Duration>) -> Option<Instant> {
+        limit.map(|tl| self.start + tl)
+    }
+
+    /// Whether more than `limit` has passed since the start; `false` when
+    /// no limit is set.
+    #[must_use]
+    pub fn expired_after(&self, limit: Option<Duration>) -> bool {
+        limit.is_some_and(|tl| self.runtime() >= tl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn past_deadline_is_reached() {
+        let past = Instant::now() - Duration::from_millis(1);
+        assert!(reached(past));
+        assert!(!reached(Instant::now() + Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn stopwatch_limits() {
+        let sw = Stopwatch::start();
+        assert!(!sw.expired_after(None));
+        assert!(!sw.expired_after(Some(Duration::from_secs(3600))));
+        assert!(sw.expired_after(Some(Duration::ZERO)));
+        assert_eq!(sw.deadline_after(None), None);
+        let d = sw.deadline_after(Some(Duration::ZERO)).expect("deadline");
+        assert!(reached(d));
+    }
+}

@@ -13,6 +13,8 @@
 
 use std::time::Instant;
 
+use crate::approx::{is_nonzero, is_zero};
+use crate::deadline;
 use crate::model::Sense;
 use crate::simplex::{LpSolution, LpStatus, VarStatus, PIVOT_TOL, TOL};
 use crate::{LpError, Model};
@@ -90,7 +92,7 @@ impl Tableau {
             }
             if let Some(d) = deadline {
                 if (self.iterations == 1 || self.iterations.is_multiple_of(64))
-                    && Instant::now() >= d
+                    && deadline::reached(d)
                 {
                     return Err(LpError::DeadlineExceeded);
                 }
@@ -103,7 +105,7 @@ impl Tableau {
 
             // Basic cost vector.
             let cb: Vec<f64> = self.basis.iter().map(|&j| c[j]).collect();
-            let cb_nonzero = cb.iter().any(|&v| v != 0.0);
+            let cb_nonzero = cb.iter().any(|&v| is_nonzero(v));
 
             // Pricing: find the entering column.
             let mut entering: Option<(usize, f64, f64)> = None; // (col, violation, dir)
@@ -120,7 +122,7 @@ impl Tableau {
                 let mut d = cj;
                 if cb_nonzero {
                     for (i, &cbi) in cb.iter().enumerate() {
-                        if cbi != 0.0 {
+                        if is_nonzero(cbi) {
                             d -= cbi * self.at(i, j);
                         }
                     }
@@ -234,12 +236,12 @@ impl Tableau {
                 continue;
             }
             let factor = self.t[i * ntot + col];
-            if factor == 0.0 {
+            if is_zero(factor) {
                 continue;
             }
             for j in 0..ntot {
                 let pr = self.t[row * ntot + j];
-                if pr != 0.0 {
+                if is_nonzero(pr) {
                     self.t[i * ntot + j] -= factor * pr;
                 }
             }

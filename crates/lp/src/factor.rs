@@ -19,6 +19,7 @@
 //! (see `DESIGN.md` §5f) — never on wall-clock, so factorization telemetry
 //! stays deterministic per seed.
 
+use crate::approx::{is_nonzero, is_zero};
 use crate::sparse::CscMatrix;
 
 /// A pivot would divide by a value at or below this; the basis is treated
@@ -124,7 +125,7 @@ impl LuFactor {
                     continue;
                 }
                 let xi = x[i];
-                if xi == 0.0 {
+                if is_zero(xi) {
                     continue;
                 }
                 for (idx, &r) in f.l_idx[f.l_ptr[col]..f.l_ptr[col + 1]].iter().enumerate() {
@@ -157,7 +158,7 @@ impl LuFactor {
                     f.u_val.push(x[i]);
                 } else if i != pivot_row {
                     let scaled = x[i] / diag;
-                    if scaled != 0.0 {
+                    if is_nonzero(scaled) {
                         f.l_idx.push(i);
                         f.l_val.push(scaled);
                     }
@@ -191,7 +192,7 @@ impl LuFactor {
         // Unit lower forward solve.
         for k in 0..m {
             let yk = y[k];
-            if yk != 0.0 {
+            if is_nonzero(yk) {
                 for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
                     y[self.l_idx[idx]] -= self.l_val[idx] * yk;
                 }
@@ -201,7 +202,7 @@ impl LuFactor {
         for k in (0..m).rev() {
             let yk = y[k] / self.u_diag[k];
             y[k] = yk;
-            if yk != 0.0 {
+            if is_nonzero(yk) {
                 for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
                     y[self.u_idx[idx]] -= self.u_val[idx] * yk;
                 }
@@ -287,7 +288,7 @@ impl BasisFactor {
         for eta in &self.etas {
             let xr = x[eta.pivot] / eta.pivot_val;
             x[eta.pivot] = xr;
-            if xr != 0.0 {
+            if is_nonzero(xr) {
                 for &(i, v) in &eta.entries {
                     x[i] -= v * xr;
                 }

@@ -41,7 +41,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// The fault hooks exist to corrupt solver behavior on purpose (differential
+// testing); a build that claims to be release-safe must not link them.
+#[cfg(all(feature = "fault-inject", feature = "release-safe"))]
+compile_error!(
+    "feature `fault-inject` (test-only solver corruption hooks) cannot be \
+     combined with `release-safe`; drop one of the two features"
+);
+
+pub mod approx;
+mod audit;
 mod bnb;
+pub mod deadline;
 mod dense;
 mod error;
 mod factor;
@@ -52,8 +63,9 @@ mod revised;
 mod simplex;
 mod sparse;
 
+pub use audit::{ModelAudit, ModelDefect, Severity, DYNAMIC_RANGE_LIMIT};
 pub use bnb::{solve_mip, MipOptions, MipSolution, MipStatus};
 pub use dense::{solve_lp_dense, solve_lp_dense_with_bounds};
 pub use error::LpError;
-pub use model::{Model, Sense, VarKind};
+pub use model::{Model, RowView, Sense, VarKind};
 pub use simplex::{solve_lp, solve_lp_with_bounds, LpSolution, LpStatus};

@@ -42,6 +42,17 @@ pub(crate) struct Constraint {
     pub rhs: f64,
 }
 
+/// Read-only view of one constraint row (see [`Model::row`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    /// `(variable, coefficient)` pairs with duplicates already accumulated.
+    pub terms: &'a [(usize, f64)],
+    /// Constraint sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
 /// A linear (mixed-integer) minimization model.
 ///
 /// ```
@@ -145,6 +156,37 @@ impl Model {
         };
         self.constraints.push(Constraint { terms: acc, sense, rhs });
         Ok(self.constraints.len() - 1)
+    }
+
+    /// Read-only view of constraint row `i`, or `None` out of range. Model
+    /// generators use this (and [`Model::rows`]) to audit the structure of
+    /// what they emitted — e.g. the FBB allocator checking its one-hot rows.
+    pub fn row(&self, i: usize) -> Option<RowView<'_>> {
+        self.constraints
+            .get(i)
+            .map(|c| RowView { terms: &c.terms, sense: c.sense, rhs: c.rhs })
+    }
+
+    /// Read-only views of all constraint rows, in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> {
+        self.constraints
+            .iter()
+            .map(|c| RowView { terms: &c.terms, sense: c.sense, rhs: c.rhs })
+    }
+
+    /// `(lower, upper)` bounds of variable `j`, or `None` out of range.
+    pub fn var_bounds(&self, j: usize) -> Option<(f64, f64)> {
+        self.vars.get(j).map(|v| (v.lower, v.upper))
+    }
+
+    /// Integrality class of variable `j`, or `None` out of range.
+    pub fn var_kind(&self, j: usize) -> Option<VarKind> {
+        self.vars.get(j).map(|v| v.kind)
+    }
+
+    /// Objective coefficient of variable `j`, or `None` out of range.
+    pub fn var_objective(&self, j: usize) -> Option<f64> {
+        self.vars.get(j).map(|v| v.objective)
     }
 
     /// Number of variables.

@@ -27,6 +27,8 @@
 
 use std::time::Instant;
 
+use crate::approx::{is_nonzero, is_zero};
+use crate::deadline;
 use crate::factor::BasisFactor;
 use crate::simplex::{LpSolution, LpStatus, VarStatus, PIVOT_TOL, TOL};
 use crate::sparse::{slack_bounds, CscMatrix};
@@ -239,7 +241,7 @@ impl SparseEngine {
         for k in 0..m {
             // Slacks start at 0, which is a bound for every sense.
             self.status[n + k] =
-                if self.slack_up[k] == 0.0 { VarStatus::AtUpper } else { VarStatus::AtLower };
+                if is_zero(self.slack_up[k]) { VarStatus::AtUpper } else { VarStatus::AtLower };
         }
 
         // Row residuals with every structural at its starting value; the
@@ -253,7 +255,7 @@ impl SparseEngine {
                 VarStatus::AtUpper => self.upper[j],
                 _ => 0.0,
             };
-            if v != 0.0 {
+            if is_nonzero(v) {
                 self.mat.scatter_col(j, -v, &mut residual);
             }
         }
@@ -432,7 +434,7 @@ impl SparseEngine {
         for j in 0..self.ntot {
             if !matches!(self.status[j], VarStatus::Basic(_)) {
                 let v = self.value_of(j);
-                if v != 0.0 {
+                if is_nonzero(v) {
                     self.mat.scatter_col(j, -v, &mut r);
                 }
             }
@@ -448,7 +450,7 @@ impl SparseEngine {
         let mut any = false;
         for (pos, &j) in self.basis.iter().enumerate() {
             y[pos] = c[j];
-            any |= c[j] != 0.0;
+            any |= is_nonzero(c[j]);
         }
         if any {
             self.factor.btran(&mut y);
@@ -501,7 +503,7 @@ impl SparseEngine {
         }
         if let Some(d) = deadline {
             if (self.stats.iterations == 1 || self.stats.iterations.is_multiple_of(64))
-                && Instant::now() >= d
+                && deadline::reached(d)
             {
                 return Err(LpError::DeadlineExceeded);
             }
@@ -789,7 +791,7 @@ impl SparseEngine {
                 let leaving = self.basis[r];
                 // Degenerate pivot: the artificial sits at 0, so the
                 // entering column keeps its current (bound) value.
-                self.status[leaving] = if self.upper[leaving] == 0.0 {
+                self.status[leaving] = if is_zero(self.upper[leaving]) {
                     VarStatus::AtUpper
                 } else {
                     VarStatus::AtLower

@@ -84,6 +84,11 @@ pub fn solve_lp_with_bounds(
     deadline: Option<Instant>,
 ) -> Result<LpSolution, LpError> {
     model.validate()?;
+    if fbb_telemetry::is_enabled() {
+        // Layer-2 audit (DESIGN.md §5g): observability only — defects are
+        // published as audit_* counters, never change the solve result.
+        model.audit().emit_telemetry();
+    }
     let (var_lower, var_upper): (Vec<f64>, Vec<f64>) = match bounds {
         Some((lo, up)) => (lo.to_vec(), up.to_vec()),
         None => (

@@ -12,6 +12,12 @@
 #   - telemetry smoke: quickstart emits a snapshot that parses as JSON
 #   - lp bench smoke: BENCH_lp.json regenerates and holds the sparse >= 2x
 #     and warm-start iteration-reduction acceptance numbers
+#   - lint gate: `fbb lint` clean over the tree AND the planted-violation
+#     fixtures trip exit code 5 (guards the analyzer against going blind)
+#   - model audit smoke: `fbb lint --models` audits the generated ILP for
+#     all 9 Table 1 designs at beta in {5%,10%} with zero structural errors
+#   - release-safe lane: fbb-core builds with --features release-safe, and
+#     combining release-safe with fault-inject is a compile_error!
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +39,33 @@ if cargo run --release --quiet -- difftest --cases 64 --seed 7 --inject-pivot-bu
     exit 1
 fi
 echo "difftest smoke: clean run green, injected defect caught"
+
+# Lint gate: the tree must be clean (exit 0)…
+cargo run --release --quiet -- lint
+# …and the planted fixtures must trip the analyzer (expect exit code 5;
+# anything else — including exit 1 for a rule that no longer fires — fails).
+set +e
+cargo run --release --quiet -- lint --fixtures > /dev/null 2>&1
+lint_code=$?
+set -e
+if [ "$lint_code" -ne 5 ]; then
+    echo "check.sh: lint --fixtures exited $lint_code, expected 5 (analyzer blind?)" >&2
+    exit 1
+fi
+echo "lint gate: workspace clean, armed fixtures trip exit 5"
+
+# Layer-2 smoke: every Table 1 design's generated ILP passes the model and
+# Eq.1-4 structure audits at both paper beta points.
+cargo run --release --quiet -- lint --models
+
+# Release-safe lane: the shipping feature set builds, and the contradictory
+# one (fault hooks in a release-safe binary) is a compile_error!.
+cargo build --release -q -p fbb-core --features release-safe
+if cargo build -q -p fbb-lp --features release-safe,fault-inject > /dev/null 2>&1; then
+    echo "check.sh: release-safe + fault-inject built; the compile_error! guard is gone" >&2
+    exit 1
+fi
+echo "release-safe lane: clean build green, contradictory build rejected"
 
 tel_json=$(mktemp /tmp/fbb_telemetry_smoke.XXXXXX.json)
 trap 'rm -f "$tel_json"' EXIT

@@ -16,7 +16,8 @@
 //! * `1` — usage error or internal failure;
 //! * `2` — the instance is infeasible (uncompensable β);
 //! * `3` — a time/node budget expired without an optimality proof;
-//! * `4` — `difftest` found at least one engine/oracle mismatch.
+//! * `4` — `difftest` found at least one engine/oracle mismatch;
+//! * `5` — `lint` found repo-invariant violations or model-audit errors.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -41,6 +42,8 @@ enum CliError {
     BudgetExpired(String),
     /// The differential harness found engine/oracle disagreement — exit 4.
     Mismatch(String),
+    /// The static-analysis pass found violations — exit 5.
+    LintViolations(String),
 }
 
 impl CliError {
@@ -50,6 +53,7 @@ impl CliError {
             CliError::Infeasible(_) => 2,
             CliError::BudgetExpired(_) => 3,
             CliError::Mismatch(_) => 4,
+            CliError::LintViolations(_) => 5,
         }
     }
 
@@ -58,7 +62,8 @@ impl CliError {
             CliError::Failure(m)
             | CliError::Infeasible(m)
             | CliError::BudgetExpired(m)
-            | CliError::Mismatch(m) => m,
+            | CliError::Mismatch(m)
+            | CliError::LintViolations(m) => m,
         }
     }
 }
@@ -118,13 +123,14 @@ fn usage() -> &'static str {
      fbb solve --netlist FILE [--rows N] [--beta 0.05] [--clusters 3]\n            \
      [--ilp] [--ilp-time-limit SECS] [--require-optimal]\n            \
      [--layout] [--cleanup PCT] [--mc SAMPLES]\n  \
-     fbb difftest [--cases 64] [--seed 0] [--gap-limit 0.6]\n\n\
+     fbb difftest [--cases 64] [--seed 0] [--gap-limit 0.6]\n  \
+     fbb lint [--json] [--fixtures] [--models] [--designs a,b] [--root DIR]\n\n\
      Any command also accepts --telemetry FILE: solver/STA/Monte-Carlo\n\
      counters are collected during the run, written to FILE as flat JSON,\n\
      and summarized on stderr.\n\n\
      Exit codes: 0 ok, 1 usage/internal error, 2 infeasible instance,\n\
      3 budget expired without an optimality proof (--require-optimal),\n\
-     4 difftest mismatch.\n\n\
+     4 difftest mismatch, 5 lint/model-audit violations.\n\n\
      *.bench files use the ISCAS format; others use the native format."
 }
 
@@ -140,6 +146,7 @@ fn run() -> Result<(), CliError> {
         Some("sta") => sta(&args).map_err(CliError::from),
         Some("solve") => solve(&args),
         Some("difftest") => difftest(&args),
+        Some("lint") => lint(&args),
         _ => Err(CliError::Failure(usage().to_owned())),
     };
     if let Some(path) = telemetry_path {
@@ -194,6 +201,146 @@ fn difftest(args: &[String]) -> Result<(), CliError> {
             "difftest: {} mismatches over {} cases/layer (seed {seed})",
             report.total_mismatches(),
             cases
+        )))
+    }
+}
+
+/// `fbb lint` — the two-layer static-analysis pass (see `DESIGN.md` §5g).
+///
+/// Default mode lints the workspace source tree with the `fbb-audit` rule
+/// engine; any unwaived finding exits 5. `--fixtures` lints the planted
+/// violation files instead — that run must *fail* (exit 5) with every rule
+/// firing, which is how `scripts/check.sh` proves the analyzer still bites
+/// (exit 1 if a rule has gone blind). `--models` switches to Layer 2: it
+/// builds the FBB ILP for the Table 1 designs at β ∈ {5 %, 10 %} and runs
+/// `Model::audit` plus the Eq. 1–5 structure audit on each, exiting 5 on
+/// any structural error.
+fn lint(args: &[String]) -> Result<(), CliError> {
+    if arg_flag(args, "--models") {
+        return lint_models(args);
+    }
+    let root = match arg_value(args, "--root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => find_workspace_root()?,
+    };
+    let fixtures = arg_flag(args, "--fixtures");
+    let report = if fixtures {
+        fbb::audit::audit_fixtures(&root)
+    } else {
+        fbb::audit::audit_workspace(&root)
+    }
+    .map_err(|e| CliError::Failure(format!("lint: {e}")))?;
+
+    if arg_flag(args, "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.summary());
+    }
+    fbb::telemetry::counter("cli_lint_runs", 1);
+
+    if fixtures {
+        // The fixtures exist to prove every rule still fires. A silent rule
+        // is an analyzer regression — worse than a violation, so it gets
+        // exit 1, not 5.
+        let fired = report.rules_fired();
+        let blind: Vec<&str> = fbb::audit::RULES
+            .iter()
+            .map(|r| r.id)
+            .filter(|id| !fired.contains(id))
+            .collect();
+        if !blind.is_empty() {
+            return Err(CliError::Failure(format!(
+                "analyzer regression: rule(s) {} produced no findings on the fixtures",
+                blind.join(", ")
+            )));
+        }
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::LintViolations(format!(
+            "fbb lint: {} violation(s) in {} file(s)",
+            report.violations().count(),
+            report.files_scanned
+        )))
+    }
+}
+
+/// Walks up from the current directory to the enclosing Cargo workspace
+/// root (the directory whose `Cargo.toml` has a `[workspace]` section).
+fn find_workspace_root() -> Result<std::path::PathBuf, CliError> {
+    let start = std::env::current_dir()
+        .map_err(|e| CliError::Failure(format!("cannot resolve current dir: {e}")))?;
+    let mut dir = start.as_path();
+    loop {
+        if std::fs::read_to_string(dir.join("Cargo.toml"))
+            .map(|t| t.contains("[workspace]"))
+            .unwrap_or(false)
+        {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(CliError::Failure(format!(
+                    "no Cargo workspace found above {} (pass --root)",
+                    start.display()
+                )))
+            }
+        }
+    }
+}
+
+/// `fbb lint --models` — Layer-2 smoke over the paper suite.
+fn lint_models(args: &[String]) -> Result<(), CliError> {
+    let designs: Vec<String> = match arg_value(args, "--designs") {
+        Some(v) => v.split(',').map(str::to_owned).collect(),
+        None => suite::PAPER_TABLE1.iter().map(|s| s.name.to_owned()).collect(),
+    };
+    let clusters: usize =
+        arg_value(args, "--clusters").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for name in &designs {
+        let design = fbb::bench::prepare_design(name);
+        for beta in [0.05f64, 0.10] {
+            let pre = design.preprocess(beta, clusters);
+            let model = IlpAllocator::default()
+                .build_model(&pre)
+                .map_err(|e| CliError::Failure(format!("{name}: {e}")))?;
+            let audit = model.audit();
+            let structure = IlpAllocator::audit_structure(&pre, &model);
+            let n_err = audit.errors().count() + structure.len();
+            let n_warn = audit.warnings().count();
+            errors += n_err;
+            warnings += n_warn;
+            println!(
+                "{name:<14} beta={:>2.0}%  {:>6} vars {:>6} rows  {} error(s), {} warning(s)",
+                beta * 100.0,
+                model.var_count(),
+                model.constraint_count(),
+                n_err,
+                n_warn
+            );
+            for d in audit.defects.iter().filter(|d| {
+                matches!(d.severity, fbb::lp::Severity::Error)
+            }) {
+                eprintln!("  model error [{}]: {}", d.code, d.message);
+            }
+            for issue in &structure {
+                eprintln!("  structure error: {issue}");
+            }
+        }
+    }
+    println!(
+        "model audit: {} design(s) x 2 betas, {errors} error(s), {warnings} warning(s)",
+        designs.len()
+    );
+    if errors == 0 {
+        Ok(())
+    } else {
+        Err(CliError::LintViolations(format!(
+            "fbb lint --models: {errors} model-audit error(s)"
         )))
     }
 }

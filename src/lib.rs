@@ -11,9 +11,13 @@
 //! * [`core`] — the paper's clustered-FBB allocation algorithms
 //! * [`telemetry`] — opt-in counters, distributions, and span timers
 //! * [`testkit`] — independent oracles, differential harness, fault injection
+//! * [`audit`] — repo-invariant lint engine (`fbb lint`) and fixtures
+//! * [`mod@bench`] — experiment harness (design preparation, Table 1 runs)
 
 #![forbid(unsafe_code)]
 
+pub use fbb_audit as audit;
+pub use fbb_bench as bench;
 pub use fbb_core as core;
 pub use fbb_device as device;
 pub use fbb_lp as lp;

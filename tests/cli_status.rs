@@ -2,7 +2,8 @@
 //! `fbb` binary.
 //!
 //! Exit codes: 0 ok, 1 usage/internal error, 2 infeasible instance,
-//! 3 budget expired without an optimality proof, 4 difftest mismatch.
+//! 3 budget expired without an optimality proof, 4 difftest mismatch,
+//! 5 lint violations.
 //! Wording: "optimal" appears in solve output if and only if the branch &
 //! bound *proved* optimality.
 
@@ -109,4 +110,34 @@ fn injected_pivot_bug_exits_4_with_mismatch_details() {
     let stderr = text(&out.stderr);
     assert_eq!(code(&out), 4, "stdout: {}", text(&out.stdout));
     assert!(stderr.contains("mismatch"), "stderr: {stderr}");
+}
+
+#[test]
+fn lint_on_clean_workspace_exits_0() {
+    let out = fbb(&["lint"]);
+    let stdout = text(&out.stdout);
+    assert_eq!(code(&out), 0, "stdout: {stdout}\nstderr: {}", text(&out.stderr));
+    assert!(stdout.contains("0 violation(s)"), "stdout: {stdout}");
+}
+
+#[test]
+fn lint_fixtures_exits_5_with_planted_violations() {
+    let out = fbb(&["lint", "--fixtures"]);
+    let stdout = text(&out.stdout);
+    let stderr = text(&out.stderr);
+    assert_eq!(code(&out), 5, "stdout: {stdout}\nstderr: {stderr}");
+    // Every rule must appear in the armed run's output.
+    for id in ["FA000", "FA001", "FA002", "FA003", "FA004", "FA005", "FA006"] {
+        assert!(stdout.contains(id), "rule {id} missing from: {stdout}");
+    }
+    assert!(stderr.contains("violation"), "stderr: {stderr}");
+}
+
+#[test]
+fn lint_json_is_machine_parsable_shape() {
+    let out = fbb(&["lint", "--json"]);
+    let stdout = text(&out.stdout);
+    assert_eq!(code(&out), 0, "stderr: {}", text(&out.stderr));
+    assert!(stdout.contains("\"violation_count\": 0"), "stdout: {stdout}");
+    assert!(stdout.contains("\"rule_counts\""), "stdout: {stdout}");
 }
