@@ -73,12 +73,13 @@ pub fn rule(id: &str) -> Option<&'static RuleInfo> {
 
 /// Telemetry-name prefix convention: crate-root path prefix → allowed name
 /// prefixes. Crates not listed only need snake_case names.
-const TELEMETRY_PREFIXES: [(&str, &[&str]); 6] = [
+const TELEMETRY_PREFIXES: [(&str, &[&str]); 7] = [
     ("crates/lp", &["lp_", "bnb_", "audit_"]),
     ("crates/sta", &["sta_", "par_"]),
     ("crates/core", &["ilp_", "core_"]),
     ("crates/variation", &["mc_"]),
     ("crates/testkit", &["difftest_"]),
+    ("crates/db", &["db_"]),
     ("src", &["cli_"]),
 ];
 

@@ -102,6 +102,27 @@ impl<'a> FbbProblem<'a> {
         self.max_clusters
     }
 
+    /// The nominal (NBB) per-gate delay vector the pre-processing analyzes:
+    /// library delays at level 0 with the deterministic per-instance loading
+    /// perturbation of [`FbbProblem::with_instance_jitter`] applied.
+    ///
+    /// Exposed so design databases can persist the exact STA input and later
+    /// cross-check stored timing against it.
+    pub fn nominal_delays(&self) -> Vec<f64> {
+        self.netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                // Weyl-sequence hash in [-1, 1).
+                let h = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                self.characterization.delay_ps(g.cell, 0)
+                    * (1.0 + self.instance_jitter * (2.0 * h - 1.0))
+            })
+            .collect()
+    }
+
     /// Runs the paper's pre-processing: nominal STA, critical-path-set
     /// extraction and pruning, per-row leakage tables, and delay-reduction
     /// coefficients.
@@ -139,18 +160,7 @@ impl<'a> FbbProblem<'a> {
 
         // Nominal (NBB) per-gate delays, with a deterministic per-instance
         // loading perturbation (see [`FbbProblem::with_instance_jitter`]).
-        let nominal: Vec<f64> = self
-            .netlist
-            .gates()
-            .iter()
-            .enumerate()
-            .map(|(i, g)| {
-                // Weyl-sequence hash in [-1, 1).
-                let h = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64
-                    / (1u64 << 53) as f64;
-                chara.delay_ps(g.cell, 0) * (1.0 + self.instance_jitter * (2.0 * h - 1.0))
-            })
-            .collect();
+        let nominal: Vec<f64> = self.nominal_delays();
 
         let graph = TimingGraph::new(self.netlist)?;
         let analysis = graph.analyze(&nominal);
@@ -293,6 +303,84 @@ impl Preprocessed {
     /// Number of timing constraints `M` (the paper's `No.Constr` column).
     pub fn constraint_count(&self) -> usize {
         self.paths.len()
+    }
+
+    /// Checks the internal consistency of a `Preprocessed` instance that
+    /// did not come out of [`FbbProblem::preprocess`] — e.g. one decoded
+    /// from a persisted design database — so that corrupted tables error
+    /// cleanly instead of panicking inside an allocator.
+    ///
+    /// Verified: dimensions are non-degenerate, every table has the declared
+    /// `n_rows` × `levels` shape, every path row index is in range, and
+    /// every numeric entry is finite (leakage and criticality non-negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FbbError::InvalidProblem`] naming the first violation.
+    pub fn validate(&self) -> Result<(), FbbError> {
+        let fail = |msg: String| Err(FbbError::InvalidProblem(msg));
+        if self.n_rows == 0 || self.levels == 0 {
+            return fail(format!("degenerate shape: {} rows x {} levels", self.n_rows, self.levels));
+        }
+        if self.max_clusters == 0 {
+            return fail("cluster budget C must be at least 1".into());
+        }
+        if !self.beta.is_finite() || !(0.0..=1.0).contains(&self.beta) {
+            return fail(format!("slowdown coefficient beta = {} outside [0, 1]", self.beta));
+        }
+        if !self.dcrit_ps.is_finite() || self.dcrit_ps <= 0.0 {
+            return fail(format!("critical delay {} ps is not physical", self.dcrit_ps));
+        }
+        if self.row_leakage_nw.len() != self.n_rows || self.row_criticality.len() != self.n_rows {
+            return fail(format!(
+                "leakage/criticality tables cover {}/{} rows, expected {}",
+                self.row_leakage_nw.len(),
+                self.row_criticality.len(),
+                self.n_rows
+            ));
+        }
+        for (row, leak) in self.row_leakage_nw.iter().enumerate() {
+            if leak.len() != self.levels {
+                return fail(format!(
+                    "row {row} leakage table has {} levels, expected {}",
+                    leak.len(),
+                    self.levels
+                ));
+            }
+            if leak.iter().any(|l| !l.is_finite() || *l < 0.0) {
+                return fail(format!("row {row} leakage table has a non-physical entry"));
+            }
+        }
+        if self.row_criticality.iter().any(|c| !c.is_finite() || *c < 0.0) {
+            return fail("criticality table has a non-physical entry".into());
+        }
+        for (k, path) in self.paths.iter().enumerate() {
+            let finite = path.degraded_delay_ps.is_finite()
+                && path.required_reduction_ps.is_finite()
+                && path.nominal_delay_ps.is_finite();
+            if !finite {
+                return fail(format!("path {k} carries a non-finite delay"));
+            }
+            for (row, reds) in &path.rows {
+                if *row >= self.n_rows {
+                    return fail(format!(
+                        "path {k} references row {row}, but only {} exist",
+                        self.n_rows
+                    ));
+                }
+                if reds.len() != self.levels {
+                    return fail(format!(
+                        "path {k} row {row} has {} reduction levels, expected {}",
+                        reds.len(),
+                        self.levels
+                    ));
+                }
+                if reds.iter().any(|r| !r.is_finite()) {
+                    return fail(format!("path {k} row {row} has a non-finite reduction"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,321 @@
+//! The `.fbb` container: magic, versioned header, section table, and
+//! per-section CRC-32 integrity.
+//!
+//! Layout (all integers little-endian; see `docs/FORMAT.md` §3 for the
+//! normative byte-level description):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  89 46 42 42 44 42 0D 0A  ("\x89FBBDB\r\n")
+//!      8     2  format version (u16, = 1)
+//!     10     2  flags (u16, = 0; all bits reserved)
+//!     12     4  section count (u32, = 6)
+//!     16  6*24  section table: { id: u32, offset: u64, len: u64, crc32: u32 }
+//!    160     4  header CRC-32 over bytes [0, 160)
+//!    164     -  section payloads, contiguous, in table order
+//! ```
+//!
+//! Version 1 fixes the section set and order to `META NETL PLAC CHAR TIMG
+//! PREP`; readers reject any deviation, so a valid file has exactly one
+//! layout and encoding is byte-for-byte deterministic.
+
+use crate::crc::crc32;
+use crate::DbError;
+
+/// The 8-byte file magic. Modeled on PNG's: a high-bit byte defeats
+/// "ASCII text" sniffers, and the trailing `\r\n` detects newline-mangling
+/// transfers.
+pub const MAGIC: [u8; 8] = [0x89, b'F', b'B', b'B', b'D', b'B', 0x0D, 0x0A];
+
+/// The format version this library reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// The only flags word version 1 accepts; all 16 bits are reserved.
+pub const HEADER_FLAGS: u16 = 0;
+
+/// Design metadata section (`"META"` as a little-endian FourCC).
+pub const SEC_META: u32 = fourcc(*b"META");
+/// Netlist section.
+pub const SEC_NETL: u32 = fourcc(*b"NETL");
+/// Placement section.
+pub const SEC_PLAC: u32 = fourcc(*b"PLAC");
+/// Characterization inputs section (library + bias model + ladder).
+pub const SEC_CHAR: u32 = fourcc(*b"CHAR");
+/// Timing tables section (per-gate delays, Dcrit, extracted paths).
+pub const SEC_TIMG: u32 = fourcc(*b"TIMG");
+/// Pre-processed allocation problems section.
+pub const SEC_PREP: u32 = fourcc(*b"PREP");
+
+/// The mandatory section order of format version 1.
+pub const SECTION_ORDER: [u32; 6] = [SEC_META, SEC_NETL, SEC_PLAC, SEC_CHAR, SEC_TIMG, SEC_PREP];
+
+/// Size of the fixed header preceding the section table.
+const FIXED_HEADER_LEN: usize = 16;
+/// Size of one section-table entry: id(4) + offset(8) + len(8) + crc(4).
+const TABLE_ENTRY_LEN: usize = 24;
+/// Offset of the first payload byte: header + table + header CRC.
+const PAYLOAD_START: usize = FIXED_HEADER_LEN + SECTION_ORDER.len() * TABLE_ENTRY_LEN + 4;
+
+/// Interprets four ASCII bytes as a little-endian section id.
+const fn fourcc(b: [u8; 4]) -> u32 {
+    u32::from_le_bytes(b)
+}
+
+/// The ASCII name of a section id, for error messages.
+pub fn section_name(id: u32) -> String {
+    let b = id.to_le_bytes();
+    if b.iter().all(|c| c.is_ascii_uppercase()) {
+        String::from_utf8_lossy(&b).into_owned()
+    } else {
+        format!("{id:#010x}")
+    }
+}
+
+/// Assembles the six section payloads (given in [`SECTION_ORDER`]) into a
+/// complete `.fbb` byte image.
+///
+/// # Panics
+///
+/// Panics if `payloads` does not hold exactly one payload per canonical
+/// section — an encoder-internal invariant, not reachable from input data.
+pub fn write_container(payloads: &[Vec<u8>]) -> Vec<u8> {
+    assert_eq!(
+        payloads.len(),
+        SECTION_ORDER.len(),
+        "one payload per canonical section"
+    );
+    let total: usize = PAYLOAD_START + payloads.iter().map(Vec::len).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&HEADER_FLAGS.to_le_bytes());
+    out.extend_from_slice(&(SECTION_ORDER.len() as u32).to_le_bytes());
+    let mut offset = PAYLOAD_START as u64;
+    for (id, payload) in SECTION_ORDER.iter().zip(payloads) {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    for payload in payloads {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Validates a `.fbb` byte image and returns the six section payload
+/// slices in [`SECTION_ORDER`].
+///
+/// Checks, in order: magic, version, flags, header CRC, section count,
+/// section ids and order, contiguous non-overlapping payload layout, total
+/// file length (no truncation, no trailing bytes), and every section's
+/// CRC-32. Any single-bit flip anywhere in the file fails one of the CRC
+/// checks.
+pub fn read_container(bytes: &[u8]) -> Result<[&[u8]; 6], DbError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(DbError::Truncated {
+            context: "magic",
+            needed: MAGIC.len(),
+            available: bytes.len(),
+        });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(DbError::BadMagic);
+    }
+    if bytes.len() < PAYLOAD_START {
+        return Err(DbError::Truncated {
+            context: "header and section table",
+            needed: PAYLOAD_START,
+            available: bytes.len(),
+        });
+    }
+    let le16 = |at: usize| u16::from_le_bytes([bytes[at], bytes[at + 1]]);
+    let le32 = |at: usize| u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+    let le64 = |at: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[at..at + 8]);
+        u64::from_le_bytes(b)
+    };
+
+    let version = le16(8);
+    if version != FORMAT_VERSION {
+        return Err(DbError::UnsupportedVersion { found: version });
+    }
+    let flags = le16(10);
+    if flags != HEADER_FLAGS {
+        return Err(DbError::ReservedFlags(flags));
+    }
+
+    // The header CRC covers the fixed header and the whole section table,
+    // so a bit flip in any offset/length/section-CRC field is caught here
+    // before those fields are trusted.
+    let crc_at = PAYLOAD_START - 4;
+    let stored = le32(crc_at);
+    let computed = crc32(&bytes[..crc_at]);
+    if stored != computed {
+        return Err(DbError::CrcMismatch { region: "header".into(), stored, computed });
+    }
+
+    let count = le32(12);
+    if count as usize != SECTION_ORDER.len() {
+        return Err(DbError::Layout(format!(
+            "section count {count}, format v1 requires {}",
+            SECTION_ORDER.len()
+        )));
+    }
+
+    let mut payloads: [&[u8]; 6] = [&[]; 6];
+    let mut expected_offset = PAYLOAD_START as u64;
+    for (i, &expected_id) in SECTION_ORDER.iter().enumerate() {
+        let entry = FIXED_HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let id = le32(entry);
+        if id != expected_id {
+            return Err(DbError::Layout(format!(
+                "section {i} is {}, format v1 requires {}",
+                section_name(id),
+                section_name(expected_id)
+            )));
+        }
+        let offset = le64(entry + 4);
+        let len = le64(entry + 12);
+        if offset != expected_offset {
+            return Err(DbError::Layout(format!(
+                "section {} starts at {offset}, expected {expected_offset} (payloads must be contiguous)",
+                section_name(id)
+            )));
+        }
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| DbError::Layout(format!("section {} length overflows", section_name(id))))?;
+        if end > bytes.len() as u64 {
+            return Err(DbError::Truncated {
+                context: "section payload",
+                needed: end as usize,
+                available: bytes.len(),
+            });
+        }
+        payloads[i] = &bytes[offset as usize..end as usize];
+        expected_offset = end;
+    }
+    if expected_offset != bytes.len() as u64 {
+        return Err(DbError::TrailingBytes {
+            region: "last section".into(),
+            extra: (bytes.len() as u64 - expected_offset) as usize,
+        });
+    }
+
+    for (i, &id) in SECTION_ORDER.iter().enumerate() {
+        let entry = FIXED_HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let stored = le32(entry + 20);
+        let computed = crc32(payloads[i]);
+        if stored != computed {
+            return Err(DbError::CrcMismatch { region: section_name(id), stored, computed });
+        }
+    }
+    Ok(payloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        write_container(&[
+            b"meta".to_vec(),
+            b"netlist-bytes".to_vec(),
+            Vec::new(),
+            b"char".to_vec(),
+            b"timing".to_vec(),
+            b"prep!".to_vec(),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_preserves_payloads() {
+        let image = sample();
+        let payloads = read_container(&image).unwrap();
+        assert_eq!(payloads[0], b"meta");
+        assert_eq!(payloads[1], b"netlist-bytes");
+        assert_eq!(payloads[2], b"");
+        assert_eq!(payloads[5], b"prep!");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut image = sample();
+        image[0] = b'P';
+        assert_eq!(read_container(&image), Err(DbError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut image = sample();
+        image[8] = 2;
+        // Version is checked before the header CRC, so an honest future
+        // file (with a valid CRC for its own layout) still reports the
+        // version problem rather than a checksum mismatch.
+        assert_eq!(
+            read_container(&image),
+            Err(DbError::UnsupportedVersion { found: 2 })
+        );
+    }
+
+    #[test]
+    fn reserved_flags_rejected() {
+        let mut image = sample();
+        image[10] = 0x01;
+        assert_eq!(read_container(&image), Err(DbError::ReservedFlags(1)));
+    }
+
+    #[test]
+    fn every_truncation_length_errors() {
+        let image = sample();
+        for len in 0..image.len() {
+            let err = read_container(&image[..len]);
+            assert!(err.is_err(), "prefix of {len} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_errors() {
+        let image = sample();
+        for byte in 0..image.len() {
+            for bit in 0..8 {
+                let mut flipped = image.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    read_container(&flipped).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut image = sample();
+        image.push(0);
+        assert!(matches!(
+            read_container(&image),
+            Err(DbError::TrailingBytes { .. }) | Err(DbError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn section_names_render() {
+        assert_eq!(section_name(SEC_META), "META");
+        assert_eq!(section_name(SEC_PREP), "PREP");
+        assert_eq!(section_name(0x0000_0001), "0x00000001");
+    }
+
+    #[test]
+    fn payload_start_matches_layout() {
+        // 16-byte fixed header + 6 * 24-byte entries + 4-byte header CRC.
+        assert_eq!(PAYLOAD_START, 164);
+        let image = write_container(&[const { Vec::new() }; 6]);
+        assert_eq!(image.len(), PAYLOAD_START);
+    }
+}

@@ -1,0 +1,71 @@
+//! CRC-32 (IEEE 802.3, reflected) — the checksum guarding every section.
+//!
+//! Parameters: polynomial `0xEDB88320` (reflected `0x04C11DB7`), initial
+//! value `0xFFFFFFFF`, final XOR `0xFFFFFFFF`, reflected input and output.
+//! This is the same CRC used by gzip, PNG, and zlib, chosen so external
+//! tooling can verify `.fbb` sections without custom code. The check value
+//! is pinned by `docs/FORMAT.md` §7: `crc32(b"123456789") == 0xCBF43926`.
+
+/// Byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` in one shot.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &byte in data {
+        c = TABLE[((c ^ u32::from(byte)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let base = vec![0xA5u8; 64];
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(&[0u8; 4]), 0x2144_DF1C);
+    }
+}

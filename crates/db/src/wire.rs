@@ -1,0 +1,340 @@
+//! Primitive wire encoding: little-endian scalars, minimal-form LEB128
+//! varints, and length-prefixed UTF-8 strings.
+//!
+//! Every multi-byte scalar is little-endian. Unsigned varints use LEB128
+//! with two extra rules that make the encoding *canonical* (one value, one
+//! byte sequence — a prerequisite for the format's byte-for-byte
+//! determinism): at most 10 bytes, and the final byte must be non-zero
+//! unless it is the only byte (minimal form). Floats travel as the raw
+//! little-endian bits of [`f64::to_bits`]; version 1 forbids non-finite
+//! values on the wire, so the decoder rejects NaN and infinities at this
+//! layer.
+
+use crate::DbError;
+
+/// Appends wire-format primitives to a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16` little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as the little-endian bytes of its IEEE 754 bit
+    /// pattern. Encoding a non-finite value is a caller bug; the debug
+    /// assertion documents the format rule without aborting release builds.
+    pub fn f64(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "format v1 forbids non-finite floats on the wire");
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes an unsigned LEB128 varint (canonical minimal form).
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a `usize` as a varint.
+    pub fn length(&mut self, v: usize) {
+        self.varint(v as u64);
+    }
+
+    /// Writes a varint byte length followed by the UTF-8 bytes.
+    pub fn str(&mut self, s: &str) {
+        self.length(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes raw bytes with no length prefix.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Reads wire-format primitives from a byte slice, never panicking on
+/// malformed input.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over the whole slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Errors with [`DbError::TrailingBytes`] unless the slice was consumed
+    /// exactly. Every section decoder ends with this, so extra bytes
+    /// anywhere are detected.
+    pub fn expect_end(&self, region: &str) -> Result<(), DbError> {
+        if self.remaining() != 0 {
+            return Err(DbError::TrailingBytes {
+                region: region.to_owned(),
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DbError> {
+        if self.remaining() < n {
+            return Err(DbError::Truncated { context, needed: n, available: self.remaining() });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, DbError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16, DbError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, DbError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, DbError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads an `f64`, rejecting NaN and infinities (format v1 rule).
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, DbError> {
+        let v = f64::from_bits(self.u64(context)?);
+        if !v.is_finite() {
+            return Err(DbError::Malformed(format!("non-finite float in {context}")));
+        }
+        Ok(v)
+    }
+
+    /// Reads a canonical unsigned LEB128 varint.
+    pub fn varint(&mut self, context: &'static str) -> Result<u64, DbError> {
+        let mut value: u64 = 0;
+        for i in 0..10 {
+            let byte = self.u8(context)?;
+            let payload = u64::from(byte & 0x7F);
+            // The 10th byte may only carry the single topmost bit of a u64.
+            if i == 9 && payload > 1 {
+                return Err(DbError::Malformed(format!("varint overflows u64 in {context}")));
+            }
+            value |= payload << (7 * i);
+            if byte & 0x80 == 0 {
+                if i > 0 && payload == 0 {
+                    return Err(DbError::Malformed(format!(
+                        "non-minimal varint encoding in {context}"
+                    )));
+                }
+                return Ok(value);
+            }
+        }
+        Err(DbError::Malformed(format!("varint longer than 10 bytes in {context}")))
+    }
+
+    /// Reads a varint element count and sanity-checks it against the bytes
+    /// remaining: each element occupies at least `min_elem_bytes`, so a
+    /// count the input cannot possibly hold is rejected *before* any
+    /// allocation — a hostile length can never trigger an out-of-memory.
+    pub fn length(&mut self, min_elem_bytes: usize, context: &'static str) -> Result<usize, DbError> {
+        let raw = self.varint(context)?;
+        let count = usize::try_from(raw)
+            .map_err(|_| DbError::Malformed(format!("length overflows usize in {context}")))?;
+        let floor = count.saturating_mul(min_elem_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(DbError::Malformed(format!(
+                "declared {count} elements in {context}, but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> Result<String, DbError> {
+        let len = self.length(1, context)?;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DbError::Malformed(format!("invalid UTF-8 in {context}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_varint(v: u64) {
+        let mut e = Encoder::new();
+        e.varint(v);
+        let bytes = e.into_vec();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.varint("test").unwrap(), v);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn varint_roundtrips() {
+        for v in [0, 1, 127, 128, 255, 300, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+            roundtrip_varint(v);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_non_minimal() {
+        // 0x80 0x00 decodes to 0 but spends two bytes: non-minimal.
+        let mut d = Decoder::new(&[0x80, 0x00]);
+        assert!(matches!(d.varint("test"), Err(DbError::Malformed(_))));
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // Eleven continuation bytes.
+        let bytes = [0xFFu8; 11];
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.varint("test"), Err(DbError::Malformed(_))));
+        // Ten bytes whose top byte carries more than u64 can hold.
+        let mut overflow = [0xFFu8; 10];
+        overflow[9] = 0x02;
+        let mut d = Decoder::new(&overflow);
+        assert!(matches!(d.varint("test"), Err(DbError::Malformed(_))));
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut e = Encoder::new();
+        e.u8(0xAB);
+        e.u16(0xBEEF);
+        e.u32(0xDEAD_BEEF);
+        e.u64(0x0123_4567_89AB_CDEF);
+        e.f64(-1234.5625);
+        let bytes = e.into_vec();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8("a").unwrap(), 0xAB);
+        assert_eq!(d.u16("b").unwrap(), 0xBEEF);
+        assert_eq!(d.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64("d").unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(d.f64("e").unwrap(), -1234.5625);
+        d.expect_end("scalars").unwrap();
+    }
+
+    #[test]
+    fn f64_rejects_non_finite() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let bytes = bad.to_bits().to_le_bytes();
+            let mut d = Decoder::new(&bytes);
+            assert!(matches!(d.f64("x"), Err(DbError::Malformed(_))), "{bad}");
+        }
+    }
+
+    #[test]
+    fn strings_roundtrip_and_reject_bad_utf8() {
+        let mut e = Encoder::new();
+        e.str("c1355 — ISCAS-85");
+        let bytes = e.into_vec();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.str("name").unwrap(), "c1355 — ISCAS-85");
+
+        let mut bad = Encoder::new();
+        bad.length(2);
+        bad.raw(&[0xFF, 0xFE]);
+        let bytes = bad.into_vec();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.str("name"), Err(DbError::Malformed(_))));
+    }
+
+    #[test]
+    fn hostile_length_rejected_before_allocation() {
+        // Claims u64::MAX elements with 2 bytes of payload behind it.
+        let mut e = Encoder::new();
+        e.varint(u64::MAX);
+        e.raw(&[0, 0]);
+        let bytes = e.into_vec();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.length(1, "gates"), Err(DbError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncation_reports_context() {
+        let mut d = Decoder::new(&[0x01, 0x02]);
+        let err = d.u32("header").unwrap_err();
+        assert_eq!(
+            err,
+            DbError::Truncated { context: "header", needed: 4, available: 2 }
+        );
+    }
+
+    #[test]
+    fn expect_end_flags_trailing() {
+        let mut e = Encoder::new();
+        e.u8(1);
+        e.u8(2);
+        let bytes = e.into_vec();
+        let mut d = Decoder::new(&bytes);
+        let _ = d.u8("x").unwrap();
+        assert!(matches!(
+            d.expect_end("META"),
+            Err(DbError::TrailingBytes { extra: 1, .. })
+        ));
+    }
+}

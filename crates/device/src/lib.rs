@@ -49,5 +49,5 @@ pub mod rbb;
 pub use bias::{BiasLadder, BiasVoltage};
 pub use cells::{Cell, CellKind, DriveStrength};
 pub use error::DeviceError;
-pub use library::{Characterization, Library};
-pub use model::BodyBiasModel;
+pub use library::{CellData, Characterization, Library};
+pub use model::{BodyBiasModel, BodyBiasParams};

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{BiasLadder, BodyBiasModel, Cell, CellKind, DriveStrength};
+use crate::{BiasLadder, BodyBiasModel, Cell, CellKind, DeviceError, DriveStrength};
 
 /// Nominal (no-body-bias, typical corner) data for one cell kind at X1 drive.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,6 +63,43 @@ impl Library {
     /// Nominal data of the X1 variant of `kind`.
     pub fn cell_data(&self, kind: CellKind) -> CellData {
         self.base[kind.index()]
+    }
+
+    /// The full nominal table, indexed by [`CellKind::index`], for
+    /// serialization ([`Library::from_cell_table`] rebuilds from it).
+    pub fn cell_table(&self) -> &[CellData] {
+        &self.base
+    }
+
+    /// Rebuilds a library from a [`Library::cell_table`] snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidModel`] if the table does not cover
+    /// exactly [`CellKind::ALL`] or contains non-finite / negative entries.
+    pub fn from_cell_table(base: Vec<CellData>) -> Result<Self, DeviceError> {
+        if base.len() != CellKind::ALL.len() {
+            return Err(DeviceError::InvalidModel(format!(
+                "cell table has {} entries, library defines {}",
+                base.len(),
+                CellKind::ALL.len()
+            )));
+        }
+        for (i, data) in base.iter().enumerate() {
+            let ok = data.delay_ps.is_finite()
+                && data.delay_ps > 0.0
+                && data.leakage_nw.is_finite()
+                && data.leakage_nw > 0.0
+                && data.width_sites > 0;
+            if !ok {
+                return Err(DeviceError::InvalidModel(format!(
+                    "cell table entry {} ({}) is not physical",
+                    i,
+                    CellKind::ALL[i]
+                )));
+            }
+        }
+        Ok(Library { base })
     }
 
     /// Nominal (no body bias) delay of `cell` in picoseconds.

@@ -148,6 +148,66 @@ impl BodyBiasModel {
     pub fn pmos_body_volts(&self, vbs: BiasVoltage) -> f64 {
         self.vdd - vbs.volts()
     }
+
+    /// The complete parameter set of this model, for serialization.
+    ///
+    /// [`BodyBiasModel::from_params`] rebuilds a bit-identical model from
+    /// the returned value.
+    pub fn params(&self) -> BodyBiasParams {
+        BodyBiasParams {
+            speedup_per_volt: self.speedup_per_volt,
+            leakage_alpha: self.leakage_alpha,
+            vdd: self.vdd,
+            usable_max_mv: self.usable_max.millivolts(),
+            junction_knee: self.junction_knee,
+            junction_slope: self.junction_slope,
+        }
+    }
+
+    /// Rebuilds a model from a [`BodyBiasModel::params`] snapshot.
+    ///
+    /// Unlike [`BodyBiasModel::new`], the junction parameters are restored
+    /// verbatim rather than re-derived, so `from_params(m.params())` is
+    /// bit-identical to `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidModel`] under the same rules as
+    /// [`BodyBiasModel::new`], extended to the junction parameters.
+    pub fn from_params(p: BodyBiasParams) -> Result<Self, DeviceError> {
+        let usable_max = BiasVoltage::from_millivolts(p.usable_max_mv);
+        let base = Self::new(p.speedup_per_volt, p.leakage_alpha, p.vdd, usable_max)?;
+        let finite_positive = |x: f64| x.is_finite() && x > 0.0;
+        if !finite_positive(p.junction_knee) || !finite_positive(p.junction_slope) {
+            return Err(DeviceError::InvalidModel(
+                "junction parameters must be finite and positive".into(),
+            ));
+        }
+        Ok(BodyBiasModel {
+            junction_knee: p.junction_knee,
+            junction_slope: p.junction_slope,
+            ..base
+        })
+    }
+}
+
+/// Raw parameter snapshot of a [`BodyBiasModel`] (see
+/// [`BodyBiasModel::params`]); the unit of exchange for serialization
+/// layers that persist a model and rebuild it bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyBiasParams {
+    /// Fractional delay reduction per volt of `vbs`.
+    pub speedup_per_volt: f64,
+    /// Exponent of the leakage growth: `L(v) = L0 · exp(alpha · v)`.
+    pub leakage_alpha: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Maximum usable bias in millivolts.
+    pub usable_max_mv: u32,
+    /// Knee voltage of the source–body junction diode.
+    pub junction_knee: f64,
+    /// Slope (per volt) of the exponential junction-current turn-on.
+    pub junction_slope: f64,
 }
 
 impl Default for BodyBiasModel {

@@ -47,6 +47,9 @@ pub enum NetlistError {
         /// Problem description.
         message: String,
     },
+    /// Raw tables passed to [`Netlist::from_parts`](crate::Netlist::from_parts)
+    /// contain a dangling or contradictory cross-reference.
+    Inconsistent(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -71,6 +74,7 @@ impl fmt::Display for NetlistError {
             NetlistError::DanglingDff(g) => write!(f, "flip-flop {g} was never connected to a D input"),
             NetlistError::NotFloating(g) => write!(f, "gate {g} is not a floating flip-flop"),
             NetlistError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            NetlistError::Inconsistent(msg) => write!(f, "inconsistent netlist tables: {msg}"),
         }
     }
 }

@@ -90,6 +90,89 @@ pub struct Netlist {
 }
 
 impl Netlist {
+    /// Reassembles a netlist from raw tables, e.g. decoded from a persisted
+    /// design database.
+    ///
+    /// All cross-references are bounds-checked *before* the structural
+    /// invariants of [`Netlist::validate`] are enforced, so arbitrarily
+    /// corrupted tables produce an error, never a panic:
+    ///
+    /// * every net id referenced by gates, `inputs`, and `outputs` is in
+    ///   range;
+    /// * every gate id referenced by net drivers and sink lists is in range;
+    /// * a net's recorded driver actually drives it, and its sink list
+    ///   matches (as a multiset) the gates that list it as an input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Inconsistent`] on any dangling or mismatched
+    /// cross-reference, plus everything [`Netlist::validate`] reports.
+    pub fn from_parts(
+        name: String,
+        gates: Vec<Gate>,
+        nets: Vec<Net>,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+    ) -> Result<Self, NetlistError> {
+        let n_gates = gates.len();
+        let n_nets = nets.len();
+        let net_in_range = |id: NetId| id.index() < n_nets;
+        let gate_in_range = |id: GateId| id.index() < n_gates;
+
+        for (i, gate) in gates.iter().enumerate() {
+            if !net_in_range(gate.output) || gate.inputs.iter().any(|&n| !net_in_range(n)) {
+                return Err(NetlistError::Inconsistent(format!(
+                    "gate g{i} references a net beyond the {n_nets} defined"
+                )));
+            }
+        }
+        for (i, net) in nets.iter().enumerate() {
+            let driver_ok = net.driver.map(gate_in_range).unwrap_or(true);
+            if !driver_ok || net.sinks.iter().any(|&g| !gate_in_range(g)) {
+                return Err(NetlistError::Inconsistent(format!(
+                    "net n{i} references a gate beyond the {n_gates} defined"
+                )));
+            }
+            if let Some(driver) = net.driver {
+                if gates[driver.index()].output.index() != i {
+                    return Err(NetlistError::Inconsistent(format!(
+                        "net n{i} claims driver {driver}, which drives {}",
+                        gates[driver.index()].output
+                    )));
+                }
+            }
+        }
+        if let Some(&bad) = inputs.iter().chain(outputs.iter()).find(|&&n| !net_in_range(n)) {
+            return Err(NetlistError::Inconsistent(format!(
+                "primary port references {bad} beyond the {n_nets} defined nets"
+            )));
+        }
+
+        // Sink lists feed the topological sort's fan-in counting; a missing
+        // or phantom entry would corrupt it, so they must match the gate
+        // input tables exactly (as a per-net multiset — order is free).
+        let mut expected: Vec<Vec<u32>> = vec![Vec::new(); n_nets];
+        for (i, gate) in gates.iter().enumerate() {
+            for &input in &gate.inputs {
+                expected[input.index()].push(i as u32);
+            }
+        }
+        for (i, net) in nets.iter().enumerate() {
+            let mut recorded: Vec<u32> = net.sinks.iter().map(|g| g.0).collect();
+            recorded.sort_unstable();
+            expected[i].sort_unstable();
+            if recorded != expected[i] {
+                return Err(NetlistError::Inconsistent(format!(
+                    "net n{i} sink list disagrees with the gate input tables"
+                )));
+            }
+        }
+
+        let nl = Netlist { name, gates, nets, inputs, outputs };
+        nl.validate()?;
+        Ok(nl)
+    }
+
     /// Design name.
     pub fn name(&self) -> &str {
         &self.name

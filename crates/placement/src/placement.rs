@@ -40,6 +40,66 @@ pub struct Placement {
 }
 
 impl Placement {
+    /// Reassembles a placement from raw tables, e.g. decoded from a
+    /// persisted design database.
+    ///
+    /// Checks the netlist-independent invariants so corrupted tables error
+    /// instead of panicking deeper in the stack: row records carry their own
+    /// index, every gate reference is in range, and no gate hangs past its
+    /// row's site capacity. Callers holding the matching netlist should
+    /// still run [`Placement::validate`] for the coverage and occupancy
+    /// checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::Inconsistent`] describing the first
+    /// violation.
+    pub fn from_parts(
+        die: Die,
+        rows: Vec<Row>,
+        gates: Vec<PlacedGate>,
+    ) -> Result<Self, PlacementError> {
+        if die.rows as usize != rows.len() {
+            return Err(PlacementError::Inconsistent(format!(
+                "die declares {} rows, tables carry {}",
+                die.rows,
+                rows.len()
+            )));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.id.index() != i {
+                return Err(PlacementError::Inconsistent(format!(
+                    "row record {i} carries id {}",
+                    row.id
+                )));
+            }
+            if let Some(&g) = row.gates.iter().find(|g| g.index() >= gates.len()) {
+                return Err(PlacementError::Inconsistent(format!(
+                    "{} lists {g} beyond the {} placed gates",
+                    row.id,
+                    gates.len()
+                )));
+            }
+        }
+        for (i, pg) in gates.iter().enumerate() {
+            if pg.row.index() >= rows.len() {
+                return Err(PlacementError::Inconsistent(format!(
+                    "gate g{i} sits in {} beyond the {} rows",
+                    pg.row,
+                    rows.len()
+                )));
+            }
+            let end = u64::from(pg.site) + u64::from(pg.width_sites);
+            if pg.width_sites == 0 || end > u64::from(die.sites_per_row) {
+                return Err(PlacementError::Inconsistent(format!(
+                    "gate g{i} occupies sites {}..{end} of a {}-site row",
+                    pg.site, die.sites_per_row
+                )));
+            }
+        }
+        Ok(Placement { die, rows, gates })
+    }
+
     /// The die geometry.
     pub fn die(&self) -> &Die {
         &self.die

@@ -34,6 +34,21 @@ impl TimingPath {
     pub fn is_empty(&self) -> bool {
         self.gates.is_empty()
     }
+
+    /// Re-derives the path delay from a per-gate delay table by summing the
+    /// gates in path order.
+    ///
+    /// Useful as an independent consistency check on persisted paths: a path
+    /// and delay vector loaded from external storage agree when the result
+    /// matches [`TimingPath::delay_ps`] (to within re-association rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate index is outside `delays` — bounds-check persisted
+    /// gate ids before calling.
+    pub fn delay_from(&self, delays: &[f64]) -> f64 {
+        self.gates.iter().map(|g| delays[g.index()]).sum()
+    }
 }
 
 #[cfg(test)]

@@ -137,6 +137,25 @@ pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Times `f` and adds the elapsed nanoseconds to the **counter** `name`.
+///
+/// Unlike [`time`], which feeds the span machinery (`p_calls`,
+/// `p_total_ns`, …), this sums straight into one exactly-named counter —
+/// the right shape for contract keys like `db_encode_ns` that downstream
+/// tooling looks up verbatim in the flat JSON snapshot. Durations beyond
+/// `u64::MAX` nanoseconds saturate. While disabled, no clock is read.
+#[inline]
+pub fn time_counter_ns<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    if !is_enabled() {
+        return f();
+    }
+    let start = Instant::now();
+    let result = f();
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    counter(name, ns);
+    result
+}
+
 /// Snapshot of the global sink's aggregates (works while disabled too, e.g.
 /// to export after a run has been stopped).
 pub fn snapshot() -> Snapshot {

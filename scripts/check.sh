@@ -18,6 +18,10 @@
 #     all 9 Table 1 designs at beta in {5%,10%} with zero structural errors
 #   - release-safe lane: fbb-core builds with --features release-safe, and
 #     combining release-safe with fault-inject is a compile_error!
+#   - design-database lane: fbb compile -> solve/sta/difftest round trip on
+#     two Table 1 designs, byte-for-byte comparison against the golden
+#     fixtures in tests/golden/, and a corrupt-input smoke (a truncated
+#     .fbb must exit non-zero with a reason, never crash)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -93,4 +97,35 @@ reduction = snap["bnb_warm_iter_reduction"]
 assert reduction > 1.0, f"warm starts do not reduce per-node iterations ({reduction})"
 print(f"lp bench smoke: sparse {speedup:.2f}x on large, warm iter reduction {reduction:.2f}x")
 EOF
+# Design-database lane: compile-once -> solve round trip on two Table 1
+# designs, golden-fixture byte comparison, and corrupt-input smoke.
+db_dir=$(mktemp -d /tmp/fbb_db_check.XXXXXX)
+trap 'rm -f "$tel_json"; rm -rf "$db_dir"' EXIT
+for design in c1355 c3540; do
+    cargo run --release --quiet -- compile --design "$design" \
+        -o "$db_dir/$design.fbb" --betas 0.05,0.10 --clusters 3 > /dev/null
+    cargo run --release --quiet -- solve --netlist "$db_dir/$design.fbb" \
+        --beta 0.05 > /dev/null
+    cargo run --release --quiet -- sta --netlist "$db_dir/$design.fbb" > /dev/null
+    cargo run --release --quiet -- difftest --db "$db_dir/$design.fbb" > /dev/null
+done
+# Golden fixtures: the checked-in bytes must still decode and re-solve
+# (tests/db_golden.rs pins byte equality; here we pin the CLI reads them).
+for golden in tests/golden/*.fbb; do
+    cargo run --release --quiet -- difftest --db "$golden" > /dev/null
+done
+# Corrupt-input smoke: a truncated database must exit non-zero (exit 1,
+# CliError::Usage — never a panic, never exit 0).
+head -c 100 "$db_dir/c1355.fbb" > "$db_dir/truncated.fbb"
+set +e
+cargo run --release --quiet -- solve --netlist "$db_dir/truncated.fbb" \
+    --beta 0.05 > /dev/null 2>&1
+db_code=$?
+set -e
+if [ "$db_code" -eq 0 ] || [ "$db_code" -ge 101 ]; then
+    echo "check.sh: truncated .fbb exited $db_code, expected a clean non-zero error" >&2
+    exit 1
+fi
+echo "db lane: compile/solve round trips green, goldens decode, truncation rejected (exit $db_code)"
+
 echo "check.sh: all green"

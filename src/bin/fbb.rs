@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! fbb generate --design c1355 --out c1355.bench        # emit a suite circuit
+//! fbb compile --design c1355 -o c1355.fbb              # persist the pre-LP pipeline
 //! fbb sta --netlist c1355.bench                        # timing report
-//! fbb solve --netlist c1355.bench --rows 13 --beta 0.05 --clusters 3 --ilp --layout
+//! fbb solve --netlist c1355.fbb --beta 0.05 --clusters 3 --ilp --layout
 //! fbb difftest --cases 256 --seed 1                    # cross-engine differential soak
+//! fbb difftest --db c1355.fbb                          # oracle-check a compiled design
 //! ```
 //!
 //! Netlist files ending in `.bench` use the ISCAS format; anything else uses
-//! the native text format (`fbb::netlist::fmt`).
+//! the native text format (`fbb::netlist::fmt`). `sta` and `solve` also
+//! accept a compiled `.fbb` design database (detected by magic, not
+//! extension — see `docs/FORMAT.md`); the placement, characterization, and
+//! pre-processed problem are then loaded instead of recomputed, skipping
+//! straight to the LP.
 //!
 //! Exit codes are a machine-readable contract:
 //!
@@ -23,11 +29,15 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use fbb::core::{single_bb, FbbError, FbbProblem, IlpAllocator, TwoPassHeuristic};
-use fbb::device::{BiasLadder, BodyBiasModel, Library};
+use fbb::core::{
+    check_timing, single_bb, FbbError, FbbProblem, Granularity, IlpAllocator, Preprocessed,
+    TwoPassHeuristic,
+};
+use fbb::db::{is_design_db, DesignDb};
+use fbb::device::{BiasLadder, BodyBiasModel, Characterization, Library};
 use fbb::netlist::{bench_fmt, fmt as nl_fmt, suite, GateId, Netlist};
 use fbb::placement::layout::{self, LayoutOptions};
-use fbb::placement::{Placer, PlacerOptions};
+use fbb::placement::{Placement, Placer, PlacerOptions};
 use fbb::sta::{IncrementalSta, RowMap, TimingGraph};
 use fbb::variation::{MonteCarloYield, ProcessVariation};
 
@@ -107,6 +117,54 @@ fn load_netlist(path: &str) -> Result<Netlist, String> {
     }
 }
 
+/// A design ready to solve: either built cold from a text netlist (parse →
+/// place → characterize) or loaded from a compiled `.fbb` database, in
+/// which case the stored pre-processed problems are available too.
+struct LoadedDesign {
+    netlist: Netlist,
+    placement: Placement,
+    chara: Characterization,
+    db: Option<DesignDb>,
+}
+
+/// Loads `path` as either a compiled design database (sniffed by magic) or
+/// a text netlist that still needs the cold pipeline. `--rows` only applies
+/// to the cold path — a database carries its placement.
+fn load_design(args: &[String], path: &str) -> Result<LoadedDesign, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if is_design_db(&bytes) {
+        let db = DesignDb::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        if arg_value(args, "--rows").is_some() {
+            eprintln!("note: --rows ignored ({path} is a compiled database with a stored placement)");
+        }
+        return Ok(LoadedDesign {
+            netlist: db.netlist.clone(),
+            placement: db.placement.clone(),
+            chara: db.characterization.clone(),
+            db: Some(db),
+        });
+    }
+    let text =
+        String::from_utf8(bytes).map_err(|_| format!("{path}: neither a design database nor text"))?;
+    let netlist = if path.ends_with(".bench") {
+        bench_fmt::from_bench_str(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        nl_fmt::from_str(&text).map_err(|e| format!("{path}: {e}"))?
+    };
+    let library = Library::date09_45nm();
+    let mut options = PlacerOptions::default();
+    if let Some(rows) = arg_value(args, "--rows").and_then(|v| v.parse().ok()) {
+        options.target_rows = Some(rows);
+    }
+    let placement =
+        Placer::new(options).place(&netlist, &library).map_err(|e| e.to_string())?;
+    let chara = library.characterize(
+        &BodyBiasModel::date09_45nm(),
+        &BiasLadder::date09().map_err(|e| e.to_string())?,
+    );
+    Ok(LoadedDesign { netlist, placement, chara, db: None })
+}
+
 fn save_netlist(nl: &Netlist, path: &str) -> Result<(), String> {
     let text = if path.ends_with(".bench") {
         bench_fmt::to_bench_string(nl)
@@ -119,12 +177,18 @@ fn save_netlist(nl: &Netlist, path: &str) -> Result<(), String> {
 fn usage() -> &'static str {
     "usage:\n  \
      fbb generate --design <table1-name|adder:W|multiplier:W|alu:W> [--out FILE]\n  \
+     fbb compile (--design NAME | --netlist FILE) -o FILE.fbb [--rows N]\n            \
+     [--betas 0.05,0.10] [--clusters 3] [--granularity row,block,gate]\n  \
      fbb sta --netlist FILE [--beta 0.05]\n  \
      fbb solve --netlist FILE [--rows N] [--beta 0.05] [--clusters 3]\n            \
      [--ilp] [--ilp-time-limit SECS] [--require-optimal]\n            \
      [--layout] [--cleanup PCT] [--mc SAMPLES]\n  \
-     fbb difftest [--cases 64] [--seed 0] [--gap-limit 0.6]\n  \
+     fbb difftest [--cases 64] [--seed 0] [--gap-limit 0.6] [--db FILE.fbb]\n  \
      fbb lint [--json] [--fixtures] [--models] [--designs a,b] [--root DIR]\n\n\
+     `fbb compile` runs generate -> place -> characterize -> STA -> path\n\
+     extraction once and persists every artifact to a versioned binary\n\
+     design database (docs/FORMAT.md). sta/solve/difftest accept the .fbb\n\
+     file wherever a netlist is expected and skip straight to the LP.\n\n\
      Any command also accepts --telemetry FILE: solver/STA/Monte-Carlo\n\
      counters are collected during the run, written to FILE as flat JSON,\n\
      and summarized on stderr.\n\n\
@@ -143,7 +207,8 @@ fn run() -> Result<(), CliError> {
     }
     let result = match args.first().map(String::as_str) {
         Some("generate") => generate(&args).map_err(CliError::from),
-        Some("sta") => sta(&args).map_err(CliError::from),
+        Some("compile") => compile(&args),
+        Some("sta") => sta(&args),
         Some("solve") => solve(&args),
         Some("difftest") => difftest(&args),
         Some("lint") => lint(&args),
@@ -167,6 +232,9 @@ fn run() -> Result<(), CliError> {
 /// scripts (and `scripts/check.sh`) can prove the harness detects a real
 /// solver bug, and it must therefore *fail*.
 fn difftest(args: &[String]) -> Result<(), CliError> {
+    if let Some(path) = arg_value(args, "--db") {
+        return difftest_db(&path, args);
+    }
     let cases: usize = arg_value(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(64);
     let seed: u64 = arg_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0);
     let gap_limit: f64 =
@@ -201,6 +269,94 @@ fn difftest(args: &[String]) -> Result<(), CliError> {
             "difftest: {} mismatches over {} cases/layer (seed {seed})",
             report.total_mismatches(),
             cases
+        )))
+    }
+}
+
+/// `fbb difftest --db FILE.fbb` — oracle-check every pre-processed instance
+/// stored in a compiled design database.
+///
+/// Per entry: the heuristic's assignment must pass the independent timing
+/// oracle, its reported leakage must match a from-scratch recomputation
+/// bit-for-bit, and its cluster usage must respect the stored budget. With
+/// `--ilp`, the exact solver additionally must not be beaten by the
+/// heuristic whenever it proves optimality. Any disagreement exits 4, same
+/// as the random-case harness.
+fn difftest_db(path: &str, args: &[String]) -> Result<(), CliError> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let db = DesignDb::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!("{}", db.stats());
+    let run_ilp = arg_flag(args, "--ilp");
+    let ilp_limit = arg_value(args, "--ilp-time-limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
+    let mut mismatches = Vec::new();
+    for entry in &db.entries {
+        let pre = &entry.pre;
+        let tag = format!("{:?} beta={:.4}", entry.granularity, pre.beta);
+        let sol = match TwoPassHeuristic::default().solve(pre) {
+            Ok(sol) => sol,
+            Err(FbbError::Uncompensable { .. }) => {
+                println!("  {tag:<24} uncompensable (oracle skipped)");
+                continue;
+            }
+            Err(e) => return Err(CliError::Failure(format!("{tag}: {e}"))),
+        };
+        if let Err(k) = check_timing(pre, &sol.assignment) {
+            mismatches.push(format!("{tag}: heuristic violates timing on path {k}"));
+        }
+        let recomputed = pre.leakage_nw(&sol.assignment);
+        if recomputed.to_bits() != sol.leakage_nw.to_bits() {
+            mismatches.push(format!(
+                "{tag}: leakage mismatch (reported {} nW, recomputed {recomputed} nW)",
+                sol.leakage_nw
+            ));
+        }
+        let used = Preprocessed::cluster_count(&sol.assignment);
+        if used > pre.max_clusters {
+            mismatches
+                .push(format!("{tag}: {used} clusters exceed budget {}", pre.max_clusters));
+        }
+        let mut ilp_note = String::new();
+        if run_ilp {
+            let out = IlpAllocator::with_time_limit(Duration::from_secs_f64(ilp_limit))
+                .solve(pre)
+                .map_err(|e| CliError::Failure(format!("{tag}: {e}")))?;
+            if let (Some(exact), true) = (&out.solution, out.proven_optimal) {
+                if sol.leakage_nw < exact.leakage_nw - 1e-6 {
+                    mismatches.push(format!(
+                        "{tag}: heuristic ({} nW) beats proven ILP optimum ({} nW)",
+                        sol.leakage_nw, exact.leakage_nw
+                    ));
+                }
+                ilp_note = format!("  ilp optimum {:>9.1} nW", exact.leakage_nw);
+            } else {
+                ilp_note = "  ilp budget expired (skipped)".to_owned();
+            }
+        }
+        println!(
+            "  {tag:<24} heuristic {:>9.1} nW, {} clusters <= {}{ilp_note}",
+            sol.leakage_nw, used, pre.max_clusters
+        );
+    }
+    fbb::telemetry::counter("cli_difftest_db_runs", 1);
+    if mismatches.is_empty() {
+        println!("difftest --db: {} entr{} clean", db.entries.len(), {
+            if db.entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        });
+        Ok(())
+    } else {
+        for m in &mismatches {
+            eprintln!("mismatch: {m}");
+        }
+        Err(CliError::Mismatch(format!(
+            "difftest --db {path}: {} mismatch(es) over {} entries",
+            mismatches.len(),
+            db.entries.len()
         )))
     }
 }
@@ -371,28 +527,42 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn sta(args: &[String]) -> Result<(), String> {
+fn sta(args: &[String]) -> Result<(), CliError> {
     let path = arg_value(args, "--netlist").ok_or("missing --netlist")?;
     let beta: f64 = arg_value(args, "--beta").and_then(|v| v.parse().ok()).unwrap_or(0.0);
-    let nl = load_netlist(&path)?;
-    let library = Library::date09_45nm();
-    let chara = library.characterize(
-        &BodyBiasModel::date09_45nm(),
-        &BiasLadder::date09().map_err(|e| e.to_string())?,
-    );
-    let delays: Vec<f64> = nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0)).collect();
-    let graph = TimingGraph::new(&nl).map_err(|e| e.to_string())?;
-    let analysis = graph.analyze(&delays);
-    println!("{}", nl.stats());
-    println!("Dcrit = {:.1} ps", analysis.dcrit_ps());
-    let mut paths = analysis.critical_path_set();
+
+    // From a compiled database the report comes straight from the stored
+    // timing tables (the exact jittered STA input and its extracted paths);
+    // from a text netlist it is recomputed with unjittered library delays,
+    // matching the historical `fbb sta` behaviour.
+    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (stats, dcrit, mut paths) = if is_design_db(&bytes) {
+        let db = DesignDb::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!("compiled database: {}", db.stats());
+        (db.netlist.stats(), db.timing.dcrit_ps, db.timing.paths.clone())
+    } else {
+        let text = String::from_utf8(bytes).map_err(|_| format!("{path}: not a text netlist"))?;
+        let nl = if path.ends_with(".bench") {
+            bench_fmt::from_bench_str(&text).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            nl_fmt::from_str(&text).map_err(|e| format!("{path}: {e}"))?
+        };
+        let library = Library::date09_45nm();
+        let chara = library.characterize(
+            &BodyBiasModel::date09_45nm(),
+            &BiasLadder::date09().map_err(|e| e.to_string())?,
+        );
+        let delays: Vec<f64> = nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0)).collect();
+        let graph = TimingGraph::new(&nl).map_err(|e| e.to_string())?;
+        let analysis = graph.analyze(&delays);
+        (nl.stats(), analysis.dcrit_ps(), analysis.critical_path_set())
+    };
+    println!("{stats}");
+    println!("Dcrit = {dcrit:.1} ps");
     paths.sort_by(|a, b| b.delay_ps.partial_cmp(&a.delay_ps).expect("finite"));
     println!("unique worst paths: {}", paths.len());
     if beta > 0.0 {
-        let violating = paths
-            .iter()
-            .filter(|p| p.delay_ps * (1.0 + beta) > analysis.dcrit_ps())
-            .count();
+        let violating = paths.iter().filter(|p| p.delay_ps * (1.0 + beta) > dcrit).count();
         println!(
             "at beta = {:.1}%: {violating} paths violate (the allocator's constraint count)",
             beta * 100.0
@@ -404,9 +574,97 @@ fn sta(args: &[String]) -> Result<(), String> {
             "  {:>8.1} ps  {:>3} gates  slack {:>7.1} ps",
             p.delay_ps,
             p.len(),
-            analysis.dcrit_ps() - p.delay_ps
+            dcrit - p.delay_ps
         );
     }
+    Ok(())
+}
+
+/// `fbb compile` — run the pre-LP pipeline once and persist every artifact
+/// (netlist, placement, characterization inputs, STA tables, pre-processed
+/// problems) to a versioned `.fbb` design database.
+fn compile(args: &[String]) -> Result<(), CliError> {
+    let out = arg_value(args, "-o")
+        .or_else(|| arg_value(args, "--out"))
+        .ok_or("missing -o FILE.fbb")?;
+    let (netlist, source) = if let Some(path) = arg_value(args, "--netlist") {
+        (load_netlist(&path)?, format!("netlist {path}"))
+    } else if let Some(name) = arg_value(args, "--design") {
+        let nl = if let Some(nl) = suite::generate(&name) {
+            nl
+        } else if let Some((kind, w)) = name.split_once(':') {
+            let w: u32 = w.parse().map_err(|_| format!("bad width in {name}"))?;
+            match kind {
+                "adder" => fbb::netlist::generators::ripple_adder(&name, w, false),
+                "multiplier" => fbb::netlist::generators::array_multiplier(&name, w),
+                "alu" => fbb::netlist::generators::alu(&name, w),
+                other => return Err(format!("unknown generator {other}").into()),
+            }
+            .map_err(|e| e.to_string())?
+        } else {
+            return Err(format!(
+                "unknown design {name}; use a Table 1 name or adder:W / multiplier:W / alu:W"
+            )
+            .into());
+        };
+        (nl, format!("generated {name}"))
+    } else {
+        return Err("missing --design or --netlist".into());
+    };
+
+    let betas: Vec<f64> = match arg_value(args, "--betas") {
+        Some(list) => {
+            let mut parsed = Vec::new();
+            for item in list.split(',') {
+                parsed.push(
+                    item.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad beta {item:?} in --betas"))?,
+                );
+            }
+            parsed
+        }
+        None => vec![0.05, 0.10],
+    };
+    let granularities: Vec<Granularity> = match arg_value(args, "--granularity") {
+        Some(list) => {
+            let mut parsed = Vec::new();
+            for item in list.split(',') {
+                parsed.push(match item.trim() {
+                    "block" => Granularity::Block,
+                    "row" => Granularity::Row,
+                    "gate" => Granularity::Gate,
+                    other => return Err(format!("unknown granularity {other:?}").into()),
+                });
+            }
+            parsed
+        }
+        None => vec![Granularity::Row],
+    };
+    let clusters: usize =
+        arg_value(args, "--clusters").and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    let library = Library::date09_45nm();
+    let mut options = PlacerOptions::default();
+    if let Some(rows) = arg_value(args, "--rows").and_then(|v| v.parse().ok()) {
+        options.target_rows = Some(rows);
+    }
+    let placement =
+        Placer::new(options).place(&netlist, &library).map_err(|e| e.to_string())?;
+    let chara = library.characterize(
+        &BodyBiasModel::date09_45nm(),
+        &BiasLadder::date09().map_err(|e| e.to_string())?,
+    );
+    eprintln!("{}", netlist.stats());
+    eprintln!("{}", placement.stats());
+
+    let db = DesignDb::build(&source, &netlist, &placement, &chara, &betas, &granularities, clusters)
+        .map_err(classify_fbb_error)?;
+    let bytes = db.encode_to_vec();
+    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    fbb::telemetry::counter("cli_compile_runs", 1);
+    println!("compiled {}", db.stats());
+    println!("{} bytes -> {out} (format v{})", bytes.len(), fbb::db::FORMAT_VERSION);
     Ok(())
 }
 
@@ -415,23 +673,37 @@ fn solve(args: &[String]) -> Result<(), CliError> {
     let beta: f64 = arg_value(args, "--beta").and_then(|v| v.parse().ok()).unwrap_or(0.05);
     let clusters: usize =
         arg_value(args, "--clusters").and_then(|v| v.parse().ok()).unwrap_or(3);
-    let nl = load_netlist(&path)?;
-
-    let library = Library::date09_45nm();
-    let ladder = BiasLadder::date09().map_err(|e| e.to_string())?;
-    let chara = library.characterize(&BodyBiasModel::date09_45nm(), &ladder);
-    let mut options = PlacerOptions::default();
-    if let Some(rows) = arg_value(args, "--rows").and_then(|v| v.parse().ok()) {
-        options.target_rows = Some(rows);
-    }
-    let placement = Placer::new(options).place(&nl, &library).map_err(|e| e.to_string())?;
+    let design = load_design(args, &path)?;
+    let (nl, placement, chara) = (&design.netlist, &design.placement, &design.chara);
+    let ladder = chara.ladder().clone();
     eprintln!("{}", nl.stats());
     eprintln!("{}", placement.stats());
 
-    let pre = FbbProblem::new(&nl, &placement, &chara, beta, clusters)
-        .map_err(|e| e.to_string())?
-        .preprocess()
-        .map_err(|e| e.to_string())?;
+    // A compiled database skips straight to the LP: the pre-processed
+    // problem is looked up by (granularity, β) and the cluster budget is
+    // overridden — pre-processing never reads it, so the override is exact.
+    let cached = design
+        .db
+        .as_ref()
+        .and_then(|db| db.preprocessed_for(Granularity::Row, beta, clusters));
+    let pre = match cached {
+        Some(pre) => {
+            eprintln!("pre-processed instance loaded from database (beta {beta})");
+            pre
+        }
+        None => {
+            if let Some(db) = &design.db {
+                eprintln!(
+                    "note: beta {beta} not compiled in (available: {:?}); pre-processing from stored artifacts",
+                    db.betas(Granularity::Row)
+                );
+            }
+            FbbProblem::new(nl, placement, chara, beta, clusters)
+                .map_err(|e| e.to_string())?
+                .preprocess()
+                .map_err(|e| e.to_string())?
+        }
+    };
     println!(
         "Dcrit = {:.1} ps, beta = {:.1}%, {} constraints, C <= {clusters}",
         pre.dcrit_ps,
@@ -509,7 +781,7 @@ fn solve(args: &[String]) -> Result<(), CliError> {
     println!();
 
     if arg_flag(args, "--layout") {
-        let art = layout::render_ascii(&placement, &ladder, &sol.assignment, &LayoutOptions::default())
+        let art = layout::render_ascii(placement, &ladder, &sol.assignment, &LayoutOptions::default())
             .map_err(|e| e.to_string())?;
         println!("\n{art}");
     }
@@ -522,7 +794,7 @@ fn solve(args: &[String]) -> Result<(), CliError> {
     // invalidating only the biased rows exercises the cone-limited re-timing
     // path, which is bit-identical to a from-scratch analyze of the tuned
     // delays.
-    let graph = TimingGraph::new(&nl).map_err(|e| e.to_string())?;
+    let graph = TimingGraph::new(nl).map_err(|e| e.to_string())?;
     let degraded: Vec<f64> =
         nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0) * (1.0 + beta)).collect();
     let row_of: Vec<usize> =
@@ -559,7 +831,7 @@ fn solve(args: &[String]) -> Result<(), CliError> {
     if mc_samples > 0 {
         let nominal: Vec<f64> =
             nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0)).collect();
-        let mc = MonteCarloYield::new(&nl, &placement, &nominal);
+        let mc = MonteCarloYield::new(nl, placement, &nominal);
         let est = mc
             .estimate(&ProcessVariation::slow_corner_45nm(), pre.dcrit_ps, mc_samples, 42)
             .map_err(|e| e.to_string())?;

@@ -10,6 +10,7 @@
 //! * [`variation`] — process variation, temperature, and aging models
 //! * [`core`] — the paper's clustered-FBB allocation algorithms
 //! * [`telemetry`] — opt-in counters, distributions, and span timers
+//! * [`db`] — versioned binary design database (`fbb compile`, `.fbb` files)
 //! * [`testkit`] — independent oracles, differential harness, fault injection
 //! * [`audit`] — repo-invariant lint engine (`fbb lint`) and fixtures
 //! * [`mod@bench`] — experiment harness (design preparation, Table 1 runs)
@@ -19,6 +20,7 @@
 pub use fbb_audit as audit;
 pub use fbb_bench as bench;
 pub use fbb_core as core;
+pub use fbb_db as db;
 pub use fbb_device as device;
 pub use fbb_lp as lp;
 pub use fbb_netlist as netlist;

@@ -1,0 +1,148 @@
+//! The compile-once workflow through the real `fbb` binary: `compile`
+//! produces a database that `solve`, `sta`, and `difftest --db` all accept,
+//! the compiled solve is bit-identical to the cold pipeline, and corrupted
+//! databases are rejected with exit 1 — never a panic, never a wrong answer.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fbb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fbb")).args(args).output().expect("fbb binary runs")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+fn text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+fn temp(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fbb_db_cli_{tag}_{}.{ext}", std::process::id()))
+}
+
+/// Compiles `adder:16` to a fresh temp `.fbb` and returns its path.
+fn compiled(tag: &str) -> PathBuf {
+    let db = temp(tag, "fbb");
+    let out = fbb(&["compile", "--design", "adder:16", "-o", db.to_str().expect("utf8")]);
+    assert_eq!(code(&out), 0, "compile failed: {}", text(&out.stderr));
+    db
+}
+
+#[test]
+fn compiled_solve_matches_cold_solve_exactly() {
+    // Cold: text netlist through the full pipeline. Same default placer
+    // options on both paths, so every number must agree to the last digit.
+    let nl = temp("cold", "nl");
+    let out = fbb(&["generate", "--design", "adder:16", "--out", nl.to_str().expect("utf8")]);
+    assert_eq!(code(&out), 0, "generate failed: {}", text(&out.stderr));
+    let cold = fbb(&["solve", "--netlist", nl.to_str().expect("utf8"), "--beta", "0.05"]);
+    assert_eq!(code(&cold), 0, "cold solve failed: {}", text(&cold.stderr));
+
+    let db = compiled("solve");
+    let warm = fbb(&["solve", "--netlist", db.to_str().expect("utf8"), "--beta", "0.05"]);
+    assert_eq!(code(&warm), 0, "compiled solve failed: {}", text(&warm.stderr));
+    assert_eq!(
+        text(&cold.stdout),
+        text(&warm.stdout),
+        "compiled solve output differs from cold pipeline"
+    );
+    assert!(
+        text(&warm.stderr).contains("loaded from database"),
+        "compiled solve did not use the stored instance: {}",
+        text(&warm.stderr)
+    );
+
+    let _ = std::fs::remove_file(nl);
+    let _ = std::fs::remove_file(db);
+}
+
+#[test]
+fn sta_reads_compiled_timing_tables() {
+    let db = compiled("sta");
+    let out = fbb(&["sta", "--netlist", db.to_str().expect("utf8"), "--beta", "0.05"]);
+    let stdout = text(&out.stdout);
+    assert_eq!(code(&out), 0, "stderr: {}", text(&out.stderr));
+    assert!(stdout.contains("compiled database:"), "stdout: {stdout}");
+    assert!(stdout.contains("Dcrit ="), "stdout: {stdout}");
+    let _ = std::fs::remove_file(db);
+}
+
+#[test]
+fn difftest_db_oracle_checks_the_stored_instances() {
+    let db = compiled("difftest");
+    let out = fbb(&["difftest", "--db", db.to_str().expect("utf8")]);
+    let stdout = text(&out.stdout);
+    assert_eq!(code(&out), 0, "stdout: {stdout}\nstderr: {}", text(&out.stderr));
+    assert!(stdout.contains("clean"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(db);
+}
+
+#[test]
+fn truncated_database_exits_1_with_a_reason() {
+    let db = compiled("truncate");
+    let bytes = std::fs::read(&db).expect("compiled file exists");
+    std::fs::write(&db, &bytes[..bytes.len() / 2]).expect("rewrite");
+    let out = fbb(&["solve", "--netlist", db.to_str().expect("utf8")]);
+    assert_eq!(code(&out), 1, "stdout: {}", text(&out.stdout));
+    assert!(
+        text(&out.stderr).contains("truncated"),
+        "stderr should name the failure: {}",
+        text(&out.stderr)
+    );
+    let _ = std::fs::remove_file(db);
+}
+
+#[test]
+fn bit_flipped_database_exits_1_with_crc_mismatch() {
+    let db = compiled("bitflip");
+    let mut bytes = std::fs::read(&db).expect("compiled file exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&db, &bytes).expect("rewrite");
+    let out = fbb(&["solve", "--netlist", db.to_str().expect("utf8")]);
+    assert_eq!(code(&out), 1, "stdout: {}", text(&out.stdout));
+    assert!(
+        text(&out.stderr).to_lowercase().contains("crc"),
+        "stderr should name the CRC: {}",
+        text(&out.stderr)
+    );
+    let _ = std::fs::remove_file(db);
+}
+
+#[test]
+fn compile_rejects_bad_arguments() {
+    let out = fbb(&["compile", "--design", "adder:16"]);
+    assert_eq!(code(&out), 1, "missing -o must be a usage error");
+    let out = fbb(&["compile", "--design", "nonesuch", "-o", "/tmp/never.fbb"]);
+    assert_eq!(code(&out), 1);
+    assert!(text(&out.stderr).contains("unknown design"), "stderr: {}", text(&out.stderr));
+    let db = temp("badgran", "fbb");
+    let out = fbb(&[
+        "compile",
+        "--design",
+        "adder:16",
+        "-o",
+        db.to_str().expect("utf8"),
+        "--granularity",
+        "county",
+    ]);
+    assert_eq!(code(&out), 1);
+    assert!(text(&out.stderr).contains("unknown granularity"), "stderr: {}", text(&out.stderr));
+}
+
+#[test]
+fn solve_falls_back_when_beta_not_compiled_in() {
+    let db = compiled("fallback");
+    // 0.07 was not compiled in; the CLI must pre-process from the stored
+    // artifacts and still succeed.
+    let out = fbb(&["solve", "--netlist", db.to_str().expect("utf8"), "--beta", "0.07"]);
+    assert_eq!(code(&out), 0, "stderr: {}", text(&out.stderr));
+    assert!(
+        text(&out.stderr).contains("not compiled in"),
+        "fallback should be announced: {}",
+        text(&out.stderr)
+    );
+    let _ = std::fs::remove_file(db);
+}

@@ -1,0 +1,119 @@
+//! Golden binary fixtures for the `.fbb` design database.
+//!
+//! Two compiled databases are checked into `tests/golden/` and compared
+//! byte-for-byte against a fresh compile: `adder8.fbb` (the doc-example
+//! recipe) and `c1355.fbb` (the Table 1 preparation the benchmarks use).
+//! Any byte difference means the format changed — if that is intentional,
+//! bump `FORMAT_VERSION`, update `docs/FORMAT.md`, and regenerate with
+//! `UPDATE_GOLDENS=1 cargo test --test db_golden`.
+
+use fbb::core::Granularity;
+use fbb::db::DesignDb;
+use fbb::device::{BiasLadder, BodyBiasModel, Library};
+use fbb::netlist::generators;
+use fbb::placement::{Placer, PlacerOptions};
+use std::path::PathBuf;
+
+/// The two golden recipes, compiled deterministically from scratch.
+fn build(name: &str) -> DesignDb {
+    match name {
+        "adder8" => {
+            let netlist = generators::ripple_adder("adder:8", 8, false).expect("valid generator");
+            let library = Library::date09_45nm();
+            let placement = Placer::new(PlacerOptions::with_target_rows(4))
+                .place(&netlist, &library)
+                .expect("placeable");
+            let chara = library.characterize(
+                &BodyBiasModel::date09_45nm(),
+                &BiasLadder::date09().expect("valid ladder"),
+            );
+            DesignDb::build(
+                "golden adder:8",
+                &netlist,
+                &placement,
+                &chara,
+                &[0.05],
+                &[Granularity::Row],
+                3,
+            )
+            .expect("compilable")
+        }
+        "c1355" => {
+            let d = fbb::bench::prepare_design("c1355");
+            DesignDb::build(
+                "golden c1355",
+                &d.netlist,
+                &d.placement,
+                &d.characterization,
+                &[0.05, 0.10],
+                &[Granularity::Row],
+                3,
+            )
+            .expect("compilable")
+        }
+        other => panic!("no golden recipe for {other}"),
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.fbb"))
+}
+
+#[test]
+fn golden_databases_match_bit_for_bit() {
+    // Regenerate with `UPDATE_GOLDENS=1 cargo test --test db_golden`.
+    let update = std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1");
+    let mut diffs = Vec::new();
+    for name in ["adder8", "c1355"] {
+        let got = build(name).encode_to_vec();
+        let path = golden_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().expect("has parent")).expect("golden dir");
+            std::fs::write(&path, &got).expect("write golden");
+            continue;
+        }
+        let want = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                panic!("missing golden {} ({e}); run with UPDATE_GOLDENS=1", path.display())
+            }
+        };
+        if got != want {
+            let first = got.iter().zip(&want).position(|(a, b)| a != b).unwrap_or(want.len().min(got.len()));
+            diffs.push(format!(
+                "{name}: {} bytes compiled vs {} golden, first difference at byte {first}",
+                got.len(),
+                want.len()
+            ));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "{}\nIf the format change is intentional, bump FORMAT_VERSION, update docs/FORMAT.md, \
+         and re-run with UPDATE_GOLDENS=1.",
+        diffs.join("\n")
+    );
+}
+
+/// The stored fixtures decode with today's decoder and re-encode to the
+/// same bytes — the on-disk artifact, not just the in-memory recipe, is
+/// what stays stable.
+#[test]
+fn golden_databases_decode_and_reencode() {
+    for name in ["adder8", "c1355"] {
+        let path = golden_path(name);
+        let Ok(bytes) = std::fs::read(&path) else {
+            // golden_databases_match_bit_for_bit reports the missing file.
+            continue;
+        };
+        let db = DesignDb::decode(&bytes)
+            .unwrap_or_else(|e| panic!("golden {name} no longer decodes: {e}"));
+        assert_eq!(db.encode_to_vec(), bytes, "golden {name} re-encode drifted");
+        assert!(
+            db.preprocessed_for(Granularity::Row, 0.05, 3).is_some(),
+            "golden {name} lost its beta=0.05 instance"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Conformance: `docs/FORMAT.md` is normative, so the constants it states —
+//! magic bytes, format version, flags, section count, section FourCC ids
+//! and their order, and the CRC-32 check value — are parsed out of the
+//! document and compared against the ones compiled into `fbb::db`. A
+//! mismatch means the spec and the code drifted apart; whichever is wrong,
+//! this test blocks the merge until they agree again.
+
+use fbb::db::{
+    crc32, FORMAT_VERSION, HEADER_FLAGS, MAGIC, SECTION_ORDER, SEC_CHAR, SEC_META, SEC_NETL,
+    SEC_PLAC, SEC_PREP, SEC_TIMG,
+};
+
+fn spec_text() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/FORMAT.md");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("normative spec {} unreadable: {e}", path.display()))
+}
+
+/// The line containing `marker`, or a panic naming what went missing.
+fn line_with<'a>(text: &'a str, marker: &str) -> &'a str {
+    text.lines()
+        .find(|l| l.contains(marker))
+        .unwrap_or_else(|| panic!("spec no longer states {marker:?}"))
+}
+
+/// Parses `= N` off the end of a layout line like `format version (u16) = 1`.
+fn trailing_number(line: &str) -> u64 {
+    line.rsplit('=')
+        .next()
+        .map(|tail| tail.trim().chars().take_while(char::is_ascii_digit).collect::<String>())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("no trailing number in spec line: {line}"))
+}
+
+#[test]
+fn spec_magic_matches_code() {
+    let text = spec_text();
+    let line = line_with(&text, "magic:");
+    let hex: Vec<u8> = line
+        .split("magic:")
+        .nth(1)
+        .expect("magic line has a value")
+        .split_whitespace()
+        .take_while(|tok| u8::from_str_radix(tok, 16).is_ok())
+        .map(|tok| u8::from_str_radix(tok, 16).expect("hex byte"))
+        .collect();
+    assert_eq!(hex, MAGIC, "spec magic bytes differ from fbb::db::MAGIC");
+}
+
+#[test]
+fn spec_version_flags_and_count_match_code() {
+    let text = spec_text();
+    assert_eq!(
+        trailing_number(line_with(&text, "format version (u16)")),
+        u64::from(FORMAT_VERSION),
+        "spec format version differs from FORMAT_VERSION"
+    );
+    assert_eq!(
+        trailing_number(line_with(&text, "flags (u16)")),
+        u64::from(HEADER_FLAGS),
+        "spec flags differ from HEADER_FLAGS"
+    );
+    assert_eq!(
+        trailing_number(line_with(&text, "section count (u32)")),
+        SECTION_ORDER.len() as u64,
+        "spec section count differs from SECTION_ORDER"
+    );
+    // The headline version statement stays in sync too.
+    let headline = line_with(&text, "**Format version:");
+    assert!(
+        headline.contains(&format!("**Format version: {FORMAT_VERSION}.**")),
+        "headline version statement drifted: {headline}"
+    );
+}
+
+#[test]
+fn spec_section_table_matches_code_ids_and_order() {
+    let text = spec_text();
+    // §3.1 rows look like: | 0 | `META` | `4D 45 54 41` | ... |
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() < 5 || cells[1].parse::<usize>().is_err() {
+            continue;
+        }
+        let name = cells[2].trim_matches('`');
+        let bytes: Vec<u8> = cells[3]
+            .trim_matches('`')
+            .split_whitespace()
+            .map(|tok| u8::from_str_radix(tok, 16).expect("section id hex byte"))
+            .collect();
+        if bytes.len() == 4 {
+            rows.push((cells[1].parse::<usize>().expect("row index"), name.to_owned(), bytes));
+        }
+    }
+    assert_eq!(rows.len(), SECTION_ORDER.len(), "spec section table row count");
+    let expected = [
+        ("META", SEC_META),
+        ("NETL", SEC_NETL),
+        ("PLAC", SEC_PLAC),
+        ("CHAR", SEC_CHAR),
+        ("TIMG", SEC_TIMG),
+        ("PREP", SEC_PREP),
+    ];
+    for (i, (index, name, bytes)) in rows.iter().enumerate() {
+        assert_eq!(*index, i, "spec section table out of order at row {i}");
+        assert_eq!(name, expected[i].0, "spec section {i} name");
+        let id = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        assert_eq!(id, expected[i].1, "spec section {name} id bytes");
+        assert_eq!(id, SECTION_ORDER[i], "spec order differs from SECTION_ORDER[{i}]");
+        // FourCC means the id bytes are exactly the ASCII name.
+        assert_eq!(bytes.as_slice(), name.as_bytes(), "section {name} is not its own FourCC");
+    }
+}
+
+#[test]
+fn spec_crc_check_value_matches_implementation() {
+    let text = spec_text();
+    let line = line_with(&text, "0xCBF43926");
+    assert!(line.contains("123456789"), "check value line lost its input: {line}");
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926, "crc32 no longer matches the spec's check value");
+}
+
+#[test]
+fn spec_payload_start_matches_header_arithmetic() {
+    let text = spec_text();
+    // 16-byte fixed header + 6 entries x 24 bytes + 4-byte header CRC = 164.
+    let payload_start = 16 + SECTION_ORDER.len() * 24 + 4;
+    assert_eq!(payload_start, 164);
+    assert!(
+        text.contains("164     …  section payloads"),
+        "spec layout no longer shows payloads starting at offset 164"
+    );
+    assert!(
+        text.contains("160     4  header CRC-32 over bytes [0, 160)"),
+        "spec layout no longer shows the header CRC at offset 160"
+    );
+}
