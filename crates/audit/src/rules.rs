@@ -73,13 +73,14 @@ pub fn rule(id: &str) -> Option<&'static RuleInfo> {
 
 /// Telemetry-name prefix convention: crate-root path prefix → allowed name
 /// prefixes. Crates not listed only need snake_case names.
-const TELEMETRY_PREFIXES: [(&str, &[&str]); 7] = [
+const TELEMETRY_PREFIXES: [(&str, &[&str]); 8] = [
     ("crates/lp", &["lp_", "bnb_", "audit_"]),
     ("crates/sta", &["sta_", "par_"]),
     ("crates/core", &["ilp_", "core_"]),
     ("crates/variation", &["mc_"]),
     ("crates/testkit", &["difftest_"]),
     ("crates/db", &["db_"]),
+    ("crates/serve", &["serve_"]),
     ("src", &["cli_"]),
 ];
 
@@ -218,8 +219,17 @@ fn rule_fa002(ctx: &FileCtx, out: &mut Vec<Finding>) {
 
 /// FA003 — determinism: no wall-clock reads in solver layers.
 fn rule_fa003(ctx: &FileCtx, out: &mut Vec<Finding>) {
-    let scope =
-        ["crates/lp/src", "crates/sta/src", "crates/core/src", "crates/variation/src"];
+    // `crates/serve/src` is in scope because a daemon is exactly where an
+    // ambient clock read would sneak back in: every per-request deadline
+    // must run through `lp::deadline::Stopwatch`, never a process-global
+    // or hand-rolled `Instant::now()`.
+    let scope = [
+        "crates/lp/src",
+        "crates/sta/src",
+        "crates/core/src",
+        "crates/variation/src",
+        "crates/serve/src",
+    ];
     if !starts_with_any(&ctx.rel_path, &scope) || ctx.rel_path == "crates/lp/src/deadline.rs" {
         return;
     }

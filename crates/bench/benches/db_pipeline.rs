@@ -34,8 +34,18 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("db_encode_c1355", |b| {
         b.iter(|| black_box(db.encode_to_vec()).len())
     });
-    c.bench_function("db_decode_c1355", |b| {
-        b.iter(|| DesignDb::decode(black_box(&bytes)).expect("round trip").netlist.gate_count())
+    c.bench_function("db_decode_verified_c1355", |b| {
+        b.iter(|| {
+            DesignDb::decode_verified(black_box(&bytes))
+                .expect("round trip")
+                .netlist
+                .gate_count()
+        })
+    });
+    c.bench_function("db_decode_fast_c1355", |b| {
+        b.iter(|| {
+            DesignDb::decode_fast(black_box(&bytes)).expect("round trip").netlist.gate_count()
+        })
     });
 }
 
@@ -57,9 +67,11 @@ fn bench_compile_once(_c: &mut Criterion) {
         });
         let bytes = compile(name).encode_to_vec();
 
-        // ...then every later solve decodes and looks up the instance.
+        // ...then every later solve decodes (the CRC-trusting warm path —
+        // the bytes came out of this pipeline's own compile) and looks up
+        // the instance.
         let warm = measure(5, 3, || {
-            let db = DesignDb::decode(&bytes).expect("round trip");
+            let db = DesignDb::decode_fast(&bytes).expect("round trip");
             black_box(
                 db.preprocessed_for(Granularity::Row, 0.05, 3)
                     .expect("beta 0.05 compiled in")

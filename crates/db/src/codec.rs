@@ -18,6 +18,28 @@ use fbb_sta::TimingPath;
 use crate::wire::{Decoder, Encoder};
 use crate::DbError;
 
+/// How much semantic validation a decode pass performs on top of the
+/// container CRCs.
+///
+/// The container layer already guarantees integrity: every payload byte is
+/// covered by a CRC-32, so random corruption and truncation are caught
+/// before any section decoder runs. What remains is *semantic* validation —
+/// re-deriving stored path delays from the delay vector, re-checking every
+/// [`Preprocessed`] invariant — which costs a second full pass over the
+/// largest sections. Cold trust boundaries (difftest, golden tests, foreign
+/// files) pay it; warm solve/serve paths re-reading bytes they (or a
+/// previous verified load) produced skip it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verify {
+    /// Full layered validation (the historical `decode` behavior).
+    Full,
+    /// CRC-trusting: structural bounds checks only, no re-derivation
+    /// passes. Malformed input still errors — it never panics — but
+    /// semantically inconsistent sections (e.g. a stored path delay that
+    /// does not match its gates) are accepted as-is.
+    Trusted,
+}
+
 fn malformed(msg: String) -> DbError {
     DbError::Malformed(msg)
 }
@@ -105,6 +127,16 @@ fn id_u32(raw: u64, what: &str) -> Result<u32, DbError> {
 /// Decodes the netlist section, rebuilding through
 /// [`Netlist::from_parts`]'s full cross-reference validation.
 pub fn decode_netlist(bytes: &[u8]) -> Result<Netlist, DbError> {
+    decode_netlist_with(bytes, Verify::Full)
+}
+
+/// [`decode_netlist`] with an explicit verification mode.
+///
+/// [`Verify::Trusted`] assembles the netlist through
+/// [`Netlist::from_parts_trusted`]: cross-references are bounds-checked but
+/// the semantic sweep (driver/sink agreement, arity, cycle scan) is skipped
+/// — the section CRC already vouches for bytes this crate's encoder wrote.
+pub fn decode_netlist_with(bytes: &[u8], verify: Verify) -> Result<Netlist, DbError> {
     let mut d = Decoder::new(bytes);
     let name = d.str("netlist name")?;
     let n_gates = d.length(3, "gate table")?;
@@ -147,8 +179,11 @@ pub fn decode_netlist(bytes: &[u8]) -> Result<Netlist, DbError> {
         outputs.push(NetId::from_index(id_u32(d.varint("primary output")?, "net id")? as usize));
     }
     d.expect_end("NETL")?;
-    Netlist::from_parts(name, gates, nets, inputs, outputs)
-        .map_err(|e| malformed(format!("netlist: {e}")))
+    match verify {
+        Verify::Full => Netlist::from_parts(name, gates, nets, inputs, outputs),
+        Verify::Trusted => Netlist::from_parts_trusted(name, gates, nets, inputs, outputs),
+    }
+    .map_err(|e| malformed(format!("netlist: {e}")))
 }
 
 // ---------------------------------------------------------------------------
@@ -306,14 +341,26 @@ pub fn encode_timing(delays_ps: &[f64], dcrit_ps: f64, paths: &[TimingPath]) -> 
     e.into_vec()
 }
 
-/// Decodes the timing section. `gate_count` comes from the already-decoded
-/// netlist; every stored gate id is checked against it, and every stored
-/// path delay is checked against the sum of its gates' delays
-/// ([`TimingPath::delay_from`]), so the three tables cannot drift apart
-/// undetected.
+/// Decodes the timing section with [`Verify::Full`] semantics. `gate_count`
+/// comes from the already-decoded netlist; every stored gate id is checked
+/// against it, and every stored path delay is checked against the sum of
+/// its gates' delays ([`TimingPath::delay_from`]), so the three tables
+/// cannot drift apart undetected.
 pub fn decode_timing(
     bytes: &[u8],
     gate_count: usize,
+) -> Result<(Vec<f64>, f64, Vec<TimingPath>), DbError> {
+    decode_timing_with(bytes, gate_count, Verify::Full)
+}
+
+/// Decodes the timing section at the requested [`Verify`] level.
+/// [`Verify::Trusted`] keeps the structural checks (gate ids in range,
+/// physical delays, non-empty paths) but skips the O(Σ path length)
+/// re-derivation of every stored path delay.
+pub fn decode_timing_with(
+    bytes: &[u8],
+    gate_count: usize,
+    verify: Verify,
 ) -> Result<(Vec<f64>, f64, Vec<TimingPath>), DbError> {
     let mut d = Decoder::new(bytes);
     let n_delays = d.length(8, "delay table")?;
@@ -353,11 +400,13 @@ pub fn decode_timing(
         if path.is_empty() {
             return Err(malformed(format!("path {k} has no gates")));
         }
-        let derived = path.delay_from(&delays);
-        if (derived - delay_ps).abs() > 1e-6 * delay_ps.abs().max(1.0) {
-            return Err(malformed(format!(
-                "path {k} stores {delay_ps} ps but its gates sum to {derived} ps"
-            )));
+        if verify == Verify::Full {
+            let derived = path.delay_from(&delays);
+            if (derived - delay_ps).abs() > 1e-6 * delay_ps.abs().max(1.0) {
+                return Err(malformed(format!(
+                    "path {k} stores {delay_ps} ps but its gates sum to {derived} ps"
+                )));
+            }
         }
         paths.push(path);
     }
@@ -415,7 +464,10 @@ fn encode_preprocessed(e: &mut Encoder, granularity: Granularity, pre: &Preproce
     }
 }
 
-fn decode_preprocessed(d: &mut Decoder<'_>) -> Result<(Granularity, Preprocessed), DbError> {
+fn decode_preprocessed(
+    d: &mut Decoder<'_>,
+    verify: Verify,
+) -> Result<(Granularity, Preprocessed), DbError> {
     let granularity = granularity_from_tag(d.u8("granularity")?)?;
     let n_rows = d.length(0, "row count")?;
     let levels = d.length(0, "level count")?;
@@ -454,6 +506,14 @@ fn decode_preprocessed(d: &mut Decoder<'_>) -> Result<(Granularity, Preprocessed
         let mut rows = Vec::with_capacity(n_path_rows);
         for _ in 0..n_path_rows {
             let row = d.length(0, "constraint row id")?;
+            // In-range row ids are checked at both verify levels: the
+            // compare is free next to the reads, and it keeps a decoded
+            // instance indexable even when full validation is skipped.
+            if row >= n_rows {
+                return Err(malformed(format!(
+                    "constraint references row {row}, but only {n_rows} exist"
+                )));
+            }
             let mut reds = Vec::with_capacity(levels);
             for _ in 0..levels {
                 reds.push(d.f64("reduction")?);
@@ -477,7 +537,9 @@ fn decode_preprocessed(d: &mut Decoder<'_>) -> Result<(Granularity, Preprocessed
         row_criticality,
         paths,
     };
-    pre.validate().map_err(|e| malformed(format!("preprocessed: {e}")))?;
+    if verify == Verify::Full {
+        pre.validate().map_err(|e| malformed(format!("preprocessed: {e}")))?;
+    }
     Ok((granularity, pre))
 }
 
@@ -492,15 +554,27 @@ pub fn encode_prep(entries: &[(Granularity, Preprocessed)]) -> Vec<u8> {
     e.into_vec()
 }
 
-/// Decodes the PREP section. Per-entry validation runs here
-/// ([`Preprocessed::validate`]); cross-section checks (row and level counts
-/// against placement and characterization) happen at the database level.
+/// Decodes the PREP section with [`Verify::Full`] semantics. Per-entry
+/// validation runs here ([`Preprocessed::validate`]); cross-section checks
+/// (row and level counts against placement and characterization) happen at
+/// the database level.
 pub fn decode_prep(bytes: &[u8]) -> Result<Vec<(Granularity, Preprocessed)>, DbError> {
+    decode_prep_with(bytes, Verify::Full)
+}
+
+/// Decodes the PREP section at the requested [`Verify`] level.
+/// [`Verify::Trusted`] skips the per-entry [`Preprocessed::validate`] pass
+/// (a second walk over every leakage cell and constraint reduction) while
+/// keeping the structural shape checks done during parsing.
+pub fn decode_prep_with(
+    bytes: &[u8],
+    verify: Verify,
+) -> Result<Vec<(Granularity, Preprocessed)>, DbError> {
     let mut d = Decoder::new(bytes);
     let n_entries = d.length(35, "prep entries")?;
     let mut entries = Vec::with_capacity(n_entries);
     for _ in 0..n_entries {
-        entries.push(decode_preprocessed(&mut d)?);
+        entries.push(decode_preprocessed(&mut d, verify)?);
     }
     d.expect_end("PREP")?;
     Ok(entries)

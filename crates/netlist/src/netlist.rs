@@ -173,6 +173,58 @@ impl Netlist {
         Ok(nl)
     }
 
+    /// [`Netlist::from_parts`] minus the semantic consistency sweep, for
+    /// callers whose tables already carry an integrity guarantee (e.g. a
+    /// CRC-verified `.fbb` section written by this crate's own encoder).
+    ///
+    /// Every cross-reference is still bounds-checked — corrupt ids return
+    /// [`NetlistError::Inconsistent`], never panic — but driver/sink
+    /// agreement, arity, undriven-net detection, and the combinational-cycle
+    /// scan are all skipped. Feeding this tables that violate those
+    /// invariants yields a netlist whose analyses (topological order, STA)
+    /// may be silently wrong, which is exactly the trade the trusted decode
+    /// path documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Inconsistent`] on any out-of-range net or
+    /// gate id.
+    pub fn from_parts_trusted(
+        name: String,
+        gates: Vec<Gate>,
+        nets: Vec<Net>,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+    ) -> Result<Self, NetlistError> {
+        let n_gates = gates.len();
+        let n_nets = nets.len();
+        let net_in_range = |id: NetId| id.index() < n_nets;
+        let gate_in_range = |id: GateId| id.index() < n_gates;
+
+        for (i, gate) in gates.iter().enumerate() {
+            if !net_in_range(gate.output) || gate.inputs.iter().any(|&n| !net_in_range(n)) {
+                return Err(NetlistError::Inconsistent(format!(
+                    "gate g{i} references a net beyond the {n_nets} defined"
+                )));
+            }
+        }
+        for (i, net) in nets.iter().enumerate() {
+            let driver_ok = net.driver.map(gate_in_range).unwrap_or(true);
+            if !driver_ok || net.sinks.iter().any(|&g| !gate_in_range(g)) {
+                return Err(NetlistError::Inconsistent(format!(
+                    "net n{i} references a gate beyond the {n_gates} defined"
+                )));
+            }
+        }
+        if let Some(&bad) = inputs.iter().chain(outputs.iter()).find(|&&n| !net_in_range(n)) {
+            return Err(NetlistError::Inconsistent(format!(
+                "primary port references {bad} beyond the {n_nets} defined nets"
+            )));
+        }
+
+        Ok(Netlist { name, gates, nets, inputs, outputs })
+    }
+
     /// Design name.
     pub fn name(&self) -> &str {
         &self.name
@@ -409,6 +461,57 @@ mod tests {
         assert_eq!(nl.dff_count(), 1);
         assert_eq!(nl.topo_order().unwrap().len(), 1);
         nl.validate().unwrap();
+    }
+
+    #[test]
+    fn from_parts_trusted_bounds_checks_but_skips_semantics() {
+        let nl = tiny();
+        // Good tables round-trip through the trusted constructor.
+        let ok = Netlist::from_parts_trusted(
+            nl.name.clone(),
+            nl.gates.clone(),
+            nl.nets.clone(),
+            nl.inputs.clone(),
+            nl.outputs.clone(),
+        )
+        .unwrap();
+        assert_eq!(ok.gate_count(), nl.gate_count());
+
+        // Out-of-range ids are still rejected (never a downstream panic)...
+        let mut bad_gates = nl.gates.clone();
+        bad_gates[0].output = NetId::from_index(999);
+        assert!(matches!(
+            Netlist::from_parts_trusted(
+                nl.name.clone(),
+                bad_gates,
+                nl.nets.clone(),
+                nl.inputs.clone(),
+                nl.outputs.clone(),
+            ),
+            Err(NetlistError::Inconsistent(_))
+        ));
+
+        // ...but a semantic lie the full constructor catches slides through:
+        // drop a sink so the sink list disagrees with the gate input tables.
+        let mut lying_nets = nl.nets.clone();
+        let victim = lying_nets.iter_mut().find(|n| !n.sinks.is_empty()).unwrap();
+        victim.sinks.clear();
+        assert!(Netlist::from_parts(
+            nl.name.clone(),
+            nl.gates.clone(),
+            lying_nets.clone(),
+            nl.inputs.clone(),
+            nl.outputs.clone(),
+        )
+        .is_err());
+        assert!(Netlist::from_parts_trusted(
+            nl.name.clone(),
+            nl.gates.clone(),
+            lying_nets,
+            nl.inputs.clone(),
+            nl.outputs.clone(),
+        )
+        .is_ok());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! In-memory design cache — load a compiled design once, solve against it
+//! thousands of times.
+//!
+//! Keys are [`crate::protocol::design_hash`] values (FNV-1a 64 over the
+//! encoded `.fbb` bytes), so the same image loaded by two clients — or
+//! inline by one and by path from another — lands on one cached
+//! [`DesignDb`]. Entries are shared out as `Arc`s: a solve holds its design
+//! alive even if the entry is evicted mid-flight.
+//!
+//! Eviction is insertion-order FIFO, bounded by the `--cache-designs`
+//! capacity the operator picked at startup. FIFO (rather than LRU) keeps
+//! the lock hold time O(1) per hit; the expected workload — a handful of
+//! designs, each hammered with solve requests — never comes near the bound.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use fbb_db::DesignDb;
+
+/// Snapshot of cache counters, taken under the lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Designs currently cached.
+    pub designs: u64,
+    /// Lookups that found their design.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+}
+
+/// Bounded, thread-safe design cache (see the module docs).
+pub struct DesignCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Arc<DesignDb>>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl DesignCache {
+    /// Creates a cache holding at most `capacity` designs (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        DesignCache { capacity: capacity.max(1), inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Looks up a design, recording a hit or miss (both locally and as
+    /// `serve_cache_hits` / `serve_cache_misses` telemetry).
+    pub fn get(&self, hash: u64) -> Option<Arc<DesignDb>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.map.get(&hash).cloned() {
+            Some(db) => {
+                inner.hits += 1;
+                fbb_telemetry::counter("serve_cache_hits", 1);
+                Some(db)
+            }
+            None => {
+                inner.misses += 1;
+                fbb_telemetry::counter("serve_cache_misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a decoded design under `hash`. Returns `true` if the design
+    /// was new, `false` if it was already cached (the existing entry is
+    /// kept — same hash means same bytes). Evicts the oldest entry when
+    /// full.
+    pub fn insert(&self, hash: u64, db: Arc<DesignDb>) -> bool {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if inner.map.contains_key(&hash) {
+            return false;
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+                inner.evictions += 1;
+                fbb_telemetry::counter("serve_cache_evictions", 1);
+            }
+        }
+        inner.map.insert(hash, db);
+        inner.order.push_back(hash);
+        fbb_telemetry::counter("serve_cache_loads", 1);
+        true
+    }
+
+    /// Counter snapshot for the STATS opcode.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        CacheStats {
+            designs: inner.map.len() as u64,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbb_core::Granularity;
+    use fbb_db::DesignDb;
+
+    fn tiny_db() -> Arc<DesignDb> {
+        // The smallest compile the workspace offers: a 2-gate netlist
+        // through the real pipeline.
+        use fbb_device::{BiasLadder, BodyBiasModel, CellKind, DriveStrength, Library};
+        use fbb_netlist::NetlistBuilder;
+        use fbb_placement::{Placer, PlacerOptions};
+
+        let mut b = NetlistBuilder::new("cache-test");
+        let a = b.input("a");
+        let x = b.gate(CellKind::Inv, DriveStrength::X1, &[a]).expect("arity");
+        let y = b.gate(CellKind::Inv, DriveStrength::X1, &[x]).expect("arity");
+        b.output(y, "y");
+        let nl = b.finish().expect("valid netlist");
+        let library = Library::date09_45nm();
+        let placement =
+            Placer::new(PlacerOptions::default()).place(&nl, &library).expect("placeable");
+        let chara = library.characterize(
+            &BodyBiasModel::date09_45nm(),
+            &BiasLadder::date09().expect("ladder"),
+        );
+        Arc::new(
+            DesignDb::build("test", &nl, &placement, &chara, &[0.05], &[Granularity::Row], 3)
+                .expect("tiny design compiles"),
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_fifo_eviction() {
+        let cache = DesignCache::new(2);
+        let db = tiny_db();
+        assert!(cache.get(1).is_none());
+        assert!(cache.insert(1, db.clone()));
+        assert!(!cache.insert(1, db.clone()), "re-insert is a no-op");
+        assert!(cache.get(1).is_some());
+        assert!(cache.insert(2, db.clone()));
+        assert!(cache.insert(3, db.clone()), "third insert evicts hash 1");
+        assert!(cache.get(1).is_none(), "oldest entry evicted");
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.designs, 2);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let cache = DesignCache::new(0);
+        assert!(cache.insert(9, tiny_db()));
+        assert!(cache.get(9).is_some());
+    }
+}

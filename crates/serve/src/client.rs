@@ -1,0 +1,245 @@
+//! Blocking client for the `fbb serve` protocol.
+//!
+//! One [`Client`] owns one connection. The convenience methods
+//! ([`Client::ping`], [`Client::solve`], …) are strict request/response
+//! round trips; pipelined use (many requests in flight, responses matched
+//! by id) goes through the split [`Client::send`] / [`Client::recv`]
+//! halves, which is how `fbb bench-serve` keeps the wire busy.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+
+use crate::protocol::{
+    self, code, ProtoError, Request, Response, ResponseBody, SolveReply, SolveRequest,
+};
+
+/// A connected protocol client (see the module docs).
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    /// Opcode of each in-flight request, needed to decode its response.
+    in_flight: HashMap<u64, u8>,
+}
+
+/// Client-side failure: transport/protocol trouble, or a non-OK response
+/// when the caller required success.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The server answered with a non-OK code.
+    Remote {
+        /// The [`protocol::code`] value.
+        code: u8,
+        /// The server's diagnostic.
+        message: String,
+    },
+    /// The response decoded, but not to the expected body shape.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// Successful LOAD/LOAD_PATH summary.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadInfo {
+    /// Cache key for solve requests.
+    pub design_hash: u64,
+    /// Gate count echoed by the server.
+    pub gates: u64,
+    /// Whether this call inserted the design (vs. already cached).
+    pub fresh: bool,
+}
+
+impl Client {
+    /// Connects to a serve daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 1, in_flight: HashMap::new() })
+    }
+
+    /// Sends a request without waiting; returns its id for matching the
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let opcode = match req {
+            Request::Ping => protocol::op::PING,
+            Request::Load { .. } => protocol::op::LOAD,
+            Request::LoadPath { .. } => protocol::op::LOAD_PATH,
+            Request::Solve(_) => protocol::op::SOLVE,
+            Request::Stats => protocol::op::STATS,
+            Request::Shutdown => protocol::op::SHUTDOWN,
+        };
+        let payload = protocol::encode_request(id, req);
+        protocol::write_frame(&mut self.stream, &payload)?;
+        self.in_flight.insert(id, opcode);
+        Ok(id)
+    }
+
+    /// Receives the next response frame (any in-flight id).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a response for an id this client never sent.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = protocol::read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Unexpected("server closed the connection".to_owned()))?;
+        // Peek the id (bytes 2..10 of the fixed header) to find the opcode
+        // this response answers.
+        if payload.len() < 10 {
+            return Err(ClientError::Proto(ProtoError::Malformed(
+                "response shorter than the fixed header".to_owned(),
+            )));
+        }
+        let id = u64::from_le_bytes(
+            payload[2..10].try_into().expect("slice of length 8 converts to [u8; 8]"),
+        );
+        let opcode = self.in_flight.remove(&id).ok_or_else(|| {
+            ClientError::Unexpected(format!("response for unknown request id {id}"))
+        })?;
+        Ok(protocol::decode_response(&payload, opcode)?)
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let id = self.send(req)?;
+        let resp = self.recv()?;
+        if resp.request_id != id {
+            return Err(ClientError::Unexpected(format!(
+                "response id {} does not match request id {id} (pipelined use goes through send/recv)",
+                resp.request_id
+            )));
+        }
+        Ok(resp)
+    }
+
+    fn expect_ok(resp: Response) -> Result<ResponseBody, ClientError> {
+        if resp.code == code::OK {
+            Ok(resp.body)
+        } else {
+            let message = match resp.body {
+                ResponseBody::Message(m) => m,
+                other => format!("{other:?}"),
+            };
+            Err(ClientError::Remote { code: resp.code, message })
+        }
+    }
+
+    /// Liveness round trip.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-OK response.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        Self::expect_ok(self.roundtrip(&Request::Ping)?).map(|_| ())
+    }
+
+    /// Loads a design from inline `.fbb` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-OK response (e.g. decode rejection).
+    pub fn load_bytes(&mut self, bytes: &[u8]) -> Result<LoadInfo, ClientError> {
+        let body =
+            Self::expect_ok(self.roundtrip(&Request::Load { bytes: bytes.to_vec() })?)?;
+        match body {
+            ResponseBody::Loaded { design_hash, gates, fresh } => {
+                Ok(LoadInfo { design_hash, gates, fresh })
+            }
+            other => Err(ClientError::Unexpected(format!("load answered {other:?}"))),
+        }
+    }
+
+    /// Loads a design from a server-side path.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-OK response (unreadable path, decode
+    /// rejection).
+    pub fn load_path(&mut self, path: &str) -> Result<LoadInfo, ClientError> {
+        let body =
+            Self::expect_ok(self.roundtrip(&Request::LoadPath { path: path.to_owned() })?)?;
+        match body {
+            ResponseBody::Loaded { design_hash, gates, fresh } => {
+                Ok(LoadInfo { design_hash, gates, fresh })
+            }
+            other => Err(ClientError::Unexpected(format!("load answered {other:?}"))),
+        }
+    }
+
+    /// Solves against a cached design. Non-OK responses surface as
+    /// [`ClientError::Remote`] carrying the CLI-contract code (2 =
+    /// infeasible, 3 = budget expired).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-OK response.
+    pub fn solve(&mut self, req: SolveRequest) -> Result<SolveReply, ClientError> {
+        let body = Self::expect_ok(self.roundtrip(&Request::Solve(req))?)?;
+        match body {
+            ResponseBody::Solved(reply) => Ok(reply),
+            other => Err(ClientError::Unexpected(format!("solve answered {other:?}"))),
+        }
+    }
+
+    /// Fetches the server counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-OK response.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        let body = Self::expect_ok(self.roundtrip(&Request::Stats)?)?;
+        match body {
+            ResponseBody::Stats(pairs) => Ok(pairs),
+            other => Err(ClientError::Unexpected(format!("stats answered {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-OK response.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        Self::expect_ok(self.roundtrip(&Request::Shutdown)?).map(|_| ())
+    }
+
+    /// Raw stream access for protocol torture tests (sending deliberately
+    /// broken frames).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,36 @@
+//! `fbb-serve` — the long-running allocation daemon.
+//!
+//! `fbb compile` already splits the flow into a pay-once pipeline and a
+//! cheap warm path; this crate puts a server in front of that warm path so
+//! the compile *and* the decode are paid once per design instead of once
+//! per solve. A client loads a compiled `.fbb` design into the server's
+//! in-memory [`cache`] (inline bytes or a server-side path), gets back a
+//! content hash, and then fires any number of `{β, C, budget}` solve
+//! requests against the cached, pre-processed tables.
+//!
+//! * [`protocol`] — the length-prefixed TCP wire format (normative text in
+//!   `docs/PROTOCOL.md`); response codes mirror the CLI exit-code
+//!   contract.
+//! * [`cache`] — bounded design cache keyed by FNV-1a 64 content hash.
+//! * [`server`] — accept loop, bounded job queue, solver worker pool,
+//!   graceful drain.
+//! * [`client`] — blocking client used by `fbb bench-serve` and the
+//!   protocol test suites.
+//!
+//! The CLI front ends are `fbb serve` (run the daemon) and
+//! `fbb bench-serve` (drive it and write `BENCH_serve.json`).
+
+// Not `forbid` like the sibling crates: `server::install_signal_handlers`
+// carries the workspace's one `unsafe` block (an async-signal-safe
+// `signal(2)` registration), scoped by an explicit `allow` at the site.
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, DesignCache};
+pub use client::{Client, ClientError, LoadInfo};
+pub use protocol::{design_hash, ProtoError, Request, Response, ResponseBody, SolveReply, SolveRequest};
+pub use server::{install_signal_handlers, ServeConfig, Server, ShutdownHandle};

@@ -1,0 +1,721 @@
+//! The daemon: accept loop, per-connection readers, bounded job queue, and
+//! the solver worker pool.
+//!
+//! # Thread architecture
+//!
+//! One nonblocking accept loop (the thread that called [`Server::run`])
+//! spawns a reader thread per connection. Readers parse frames and answer
+//! cheap requests (PING, STATS, LOAD, SHUTDOWN) inline; SOLVE requests are
+//! pushed onto a bounded queue serviced by `workers` long-lived solver
+//! threads. Pushing blocks when the queue is full — backpressure reaches
+//! the client as unread frames in the socket buffer, never as unbounded
+//! server memory.
+//!
+//! Each connection has one writer handle (`Arc<Mutex<TcpStream>>`) shared
+//! between its reader and the workers, so pipelined responses interleave
+//! at frame granularity and never corrupt the stream. Responses to queued
+//! solves may arrive out of submission order; clients match on request id.
+//!
+//! # Worker budget
+//!
+//! The pool size is fixed at startup: `--workers N`, or the
+//! `fbb_sta::par::threads` default when unset — resolved **once** in
+//! [`ServeConfig::resolved_workers`] and passed down explicitly, per the
+//! daemon policy in `fbb_sta::par` (a live pool never re-reads the
+//! environment).
+//!
+//! # Clocks
+//!
+//! Every per-request deadline runs through
+//! [`fbb_lp::deadline::Stopwatch`], started when the request is enqueued;
+//! queue wait counts against the client's budget. There is no other clock
+//! in this crate (audit rule FA003 covers `crates/serve/src`).
+//!
+//! # Shutdown
+//!
+//! A SHUTDOWN frame or a termination signal (see
+//! [`install_signal_handlers`]) sets one atomic flag. The accept loop
+//! stops, readers stop consuming frames, workers drain the queue, and
+//! [`Server::run`] returns once every queued solve has been answered —
+//! the "graceful drain" contract `scripts/check.sh` exercises.
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use fbb_core::{FbbError, Granularity, IlpAllocator, TwoPassHeuristic};
+use fbb_db::DesignDb;
+use fbb_lp::deadline::Stopwatch;
+
+use crate::cache::DesignCache;
+use crate::protocol::{
+    self, code, design_hash, flag, ProtoError, Request, Response, ResponseBody, SolveReply,
+    SolveRequest, MAX_FRAME_LEN,
+};
+
+/// How long blocked waits (queue pops, socket reads, accept polls) sleep
+/// before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Default bound on queued-but-unstarted solve jobs.
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// Default design-cache capacity.
+pub const DEFAULT_CACHE_DESIGNS: usize = 8;
+
+/// Fallback ILP time limit when a solve request carries no budget,
+/// mirroring the CLI's `--ilp-time-limit` default.
+const DEFAULT_ILP_LIMIT: Duration = Duration::from_secs(120);
+
+/// Daemon configuration, fully resolved before the first request.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7117` (port 0 = ephemeral).
+    pub addr: String,
+    /// Solver worker threads; `0` resolves to `fbb_sta::par::threads()`
+    /// once at startup.
+    pub workers: usize,
+    /// Design-cache capacity; `0` resolves to [`DEFAULT_CACHE_DESIGNS`].
+    pub cache_designs: usize,
+    /// Queue bound; `0` resolves to [`DEFAULT_QUEUE_DEPTH`].
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { addr: "127.0.0.1:0".to_owned(), workers: 0, cache_designs: 0, queue_depth: 0 }
+    }
+}
+
+impl ServeConfig {
+    /// The startup-time worker budget: `--workers` if given, otherwise the
+    /// `FBB_THREADS`/hardware default — read here, once, never again.
+    #[must_use]
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            fbb_sta::par::threads()
+        }
+    }
+}
+
+/// Process-global flag set by the termination-signal handler. Separate
+/// from the per-server flag so the handler (which must be a plain
+/// `extern "C"` fn) needs no access to server state.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs handlers that turn `SIGTERM`/`SIGINT` into a graceful drain.
+///
+/// The handler body is a single atomic store — async-signal-safe. Uses a
+/// directly declared `signal(2)` binding because the offline build has no
+/// libc crate; on non-Unix targets this is a no-op and only the SHUTDOWN
+/// opcode can stop the daemon.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        #[allow(unsafe_code)]
+        {
+            extern "C" fn on_signal(_signum: i32) {
+                SIGNALLED.store(true, Ordering::SeqCst);
+            }
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            const SIGINT: i32 = 2;
+            const SIGTERM: i32 = 15;
+            // SAFETY: `signal(2)` with a handler that only performs an
+            // atomic store; both arguments are valid for the lifetime of
+            // the process.
+            unsafe {
+                signal(SIGTERM, on_signal as *const () as usize);
+                signal(SIGINT, on_signal as *const () as usize);
+            }
+        }
+    }
+}
+
+/// Counters behind the STATS opcode. Plain atomics so they work with
+/// telemetry disabled (the daemon's steady state).
+#[derive(Default)]
+struct ServerStats {
+    requests: AtomicU64,
+    solve_ok: AtomicU64,
+    solve_infeasible: AtomicU64,
+    solve_budget_expired: AtomicU64,
+    solve_error: AtomicU64,
+}
+
+/// Bounded MPMC queue of solve jobs with shutdown-aware blocking.
+struct JobQueue {
+    depth: usize,
+    jobs: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl JobQueue {
+    fn new(depth: usize) -> Self {
+        JobQueue {
+            depth: depth.max(1),
+            jobs: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the queue is full (backpressure). Returns `false` —
+    /// job handed back — if shutdown began while waiting.
+    fn push(&self, job: Job, shutdown: &AtomicBool) -> Result<(), Job> {
+        let mut jobs = self.jobs.lock().expect("queue lock poisoned");
+        while jobs.len() >= self.depth {
+            if shutdown.load(Ordering::SeqCst) {
+                return Err(job);
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(jobs, POLL_INTERVAL)
+                .expect("queue lock poisoned");
+            jobs = guard;
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available. Returns `None` once shutdown is
+    /// set **and** the queue is empty — the drain guarantee.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                drop(jobs);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(jobs, POLL_INTERVAL)
+                .expect("queue lock poisoned");
+            jobs = guard;
+        }
+    }
+
+    fn depth_now(&self) -> u64 {
+        self.jobs.lock().expect("queue lock poisoned").len() as u64
+    }
+}
+
+/// A queued solve: everything a worker needs, including the stopwatch
+/// started at enqueue (queue wait burns the client's budget).
+struct Job {
+    request_id: u64,
+    req: SolveRequest,
+    design: Arc<DesignDb>,
+    writer: Arc<Mutex<TcpStream>>,
+    sw: Stopwatch,
+}
+
+/// State shared by the accept loop, readers, and workers.
+struct Shared {
+    cache: DesignCache,
+    queue: JobQueue,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake every parked worker/reader promptly (they would also notice
+        // via their poll timeout).
+        self.queue.not_empty.notify_all();
+        self.queue.not_full.notify_all();
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listening socket. The daemon is not serving until
+    /// [`Server::run`] is called.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = config.resolved_workers();
+        let cache_designs = if config.cache_designs > 0 {
+            config.cache_designs
+        } else {
+            DEFAULT_CACHE_DESIGNS
+        };
+        let queue_depth =
+            if config.queue_depth > 0 { config.queue_depth } else { DEFAULT_QUEUE_DEPTH };
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                cache: DesignCache::new(cache_designs),
+                queue: JobQueue::new(queue_depth),
+                stats: ServerStats::default(),
+                shutdown: AtomicBool::new(false),
+                workers,
+            }),
+        })
+    }
+
+    /// The bound address — useful with port 0 (ephemeral).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests a graceful drain from outside the protocol (tests,
+    /// embedding code). Idempotent.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serves until drained: accepts connections, answers requests, and
+    /// returns once a shutdown (opcode, signal, or
+    /// [`ShutdownHandle::shutdown`]) has been requested *and* every queued
+    /// solve has been answered.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal listener errors; per-connection failures are contained.
+    pub fn run(&self) -> std::io::Result<()> {
+        let shared = &self.shared;
+        fbb_telemetry::counter("serve_starts", 1);
+        std::thread::scope(|scope| {
+            for _ in 0..shared.workers {
+                scope.spawn(|| worker_loop(shared));
+            }
+            loop {
+                if shared.draining() {
+                    shared.begin_shutdown();
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let shared = Arc::clone(shared);
+                        scope.spawn(move || handle_connection(&shared, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        // Fatal listener failure: begin drain so workers
+                        // exit, then surface the error.
+                        shared.begin_shutdown();
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(())
+        })
+        // Scope exit = accept loop stopped, readers noticed the flag,
+        // workers drained the queue: the drain is complete here.
+    }
+}
+
+/// Clonable handle that can stop a running [`Server`].
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Begins the graceful drain.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection reader
+
+/// Reads one frame payload, polling the shutdown flag across read
+/// timeouts. Returns `None` on clean EOF, client disconnect mid-frame, or
+/// shutdown — all of which end the reader.
+fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    // Phase 1: the length prefix. A timeout with zero bytes read is the
+    // idle case — keep polling; once any byte has arrived the frame is in
+    // flight and EOF becomes an error.
+    while got < header.len() {
+        match stream.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None) // orderly close at a frame boundary
+                } else {
+                    Err(ProtoError::Io(std::io::ErrorKind::UnexpectedEof.into()))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < payload.len() {
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => return Err(ProtoError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Mid-frame we keep reading through a drain: the frame may
+                // complete and will be answered before the reader exits.
+                if shared.draining() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn send_response(writer: &Arc<Mutex<TcpStream>>, resp: &Response) {
+    let payload = protocol::encode_response(resp);
+    let mut stream = writer.lock().expect("connection writer poisoned");
+    // A dead peer is not a server error; the reader will see the close.
+    let _ = protocol::write_frame(&mut *stream, &payload);
+}
+
+fn error_response(request_id: u64, rcode: u8, message: String) -> Response {
+    Response { code: rcode, request_id, body: ResponseBody::Message(message) }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // Responses are small frames that must leave immediately; without
+    // TCP_NODELAY, Nagle + delayed ACK adds ~40 ms to every round trip.
+    if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    fbb_telemetry::counter("serve_connections", 1);
+
+    loop {
+        let payload = match read_frame_polling(&mut reader, shared) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(e) => {
+                // Framing violations poison the stream: answer once with
+                // id 0 (the real id is unknowable) and hang up.
+                send_response(&writer, &error_response(0, code::ERROR, e.to_string()));
+                return;
+            }
+        };
+        let (request_id, req) = match protocol::decode_request(&payload) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                send_response(&writer, &error_response(0, code::ERROR, e.to_string()));
+                return;
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        fbb_telemetry::counter("serve_requests", 1);
+        match req {
+            Request::Ping => send_response(
+                &writer,
+                &Response { code: code::OK, request_id, body: ResponseBody::Empty },
+            ),
+            Request::Stats => {
+                let resp = stats_response(shared, request_id);
+                send_response(&writer, &resp);
+            }
+            Request::Shutdown => {
+                send_response(
+                    &writer,
+                    &Response { code: code::OK, request_id, body: ResponseBody::Empty },
+                );
+                shared.begin_shutdown();
+                return;
+            }
+            Request::Load { bytes } => {
+                let resp = load_design(shared, request_id, &bytes, DecodeTrust::Verify);
+                send_response(&writer, &resp);
+            }
+            Request::LoadPath { path } => {
+                let resp = match std::fs::read(&path) {
+                    Ok(bytes) => load_design(shared, request_id, &bytes, DecodeTrust::Fast),
+                    Err(e) => error_response(
+                        request_id,
+                        code::ERROR,
+                        format!("cannot load design {path}: {e}"),
+                    ),
+                };
+                send_response(&writer, &resp);
+            }
+            Request::Solve(sreq) => {
+                if shared.draining() {
+                    send_response(
+                        &writer,
+                        &error_response(request_id, code::ERROR, "server is draining".to_owned()),
+                    );
+                    continue;
+                }
+                let Some(design) = shared.cache.get(sreq.design_hash) else {
+                    send_response(
+                        &writer,
+                        &error_response(
+                            request_id,
+                            code::ERROR,
+                            format!(
+                                "design {:016x} is not loaded (LOAD or LOAD_PATH it first)",
+                                sreq.design_hash
+                            ),
+                        ),
+                    );
+                    continue;
+                };
+                let job = Job {
+                    request_id,
+                    req: sreq,
+                    design,
+                    writer: Arc::clone(&writer),
+                    sw: Stopwatch::start(),
+                };
+                if let Err(job) = shared.queue.push(job, &shared.shutdown) {
+                    send_response(
+                        &writer,
+                        &error_response(
+                            job.request_id,
+                            code::ERROR,
+                            "server began draining before the job could be queued".to_owned(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// How much to trust incoming design bytes (see `docs/PROTOCOL.md` §6).
+enum DecodeTrust {
+    /// Inline network bytes: full semantic verification.
+    Verify,
+    /// Server-side file, same trust as the CLI's own `--db` path:
+    /// CRC-trusting fast decode.
+    Fast,
+}
+
+fn load_design(shared: &Shared, request_id: u64, bytes: &[u8], trust: DecodeTrust) -> Response {
+    let hash = design_hash(bytes);
+    if let Some(db) = shared.cache.get(hash) {
+        return Response {
+            code: code::OK,
+            request_id,
+            body: ResponseBody::Loaded {
+                design_hash: hash,
+                gates: db.netlist.gate_count() as u64,
+                fresh: false,
+            },
+        };
+    }
+    let decoded = match trust {
+        DecodeTrust::Verify => DesignDb::decode_verified(bytes),
+        DecodeTrust::Fast => DesignDb::decode_fast(bytes),
+    };
+    match decoded {
+        Ok(db) => {
+            let gates = db.netlist.gate_count() as u64;
+            let fresh = shared.cache.insert(hash, Arc::new(db));
+            Response {
+                code: code::OK,
+                request_id,
+                body: ResponseBody::Loaded { design_hash: hash, gates, fresh },
+            }
+        }
+        Err(e) => error_response(request_id, code::ERROR, format!("cannot load design: {e}")),
+    }
+}
+
+fn stats_response(shared: &Shared, request_id: u64) -> Response {
+    let cache = shared.cache.stats();
+    let pairs = vec![
+        ("designs_cached".to_owned(), cache.designs),
+        ("cache_hits".to_owned(), cache.hits),
+        ("cache_misses".to_owned(), cache.misses),
+        ("cache_evictions".to_owned(), cache.evictions),
+        ("requests".to_owned(), shared.stats.requests.load(Ordering::Relaxed)),
+        ("solve_ok".to_owned(), shared.stats.solve_ok.load(Ordering::Relaxed)),
+        ("solve_infeasible".to_owned(), shared.stats.solve_infeasible.load(Ordering::Relaxed)),
+        (
+            "solve_budget_expired".to_owned(),
+            shared.stats.solve_budget_expired.load(Ordering::Relaxed),
+        ),
+        ("solve_error".to_owned(), shared.stats.solve_error.load(Ordering::Relaxed)),
+        ("queue_depth".to_owned(), shared.queue.depth_now()),
+        ("workers".to_owned(), shared.workers as u64),
+    ];
+    Response { code: code::OK, request_id, body: ResponseBody::Stats(pairs) }
+}
+
+// ---------------------------------------------------------------------------
+// Solver workers
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop(&shared.shutdown) {
+        let resp = solve_job(&job);
+        let counter = match resp.code {
+            code::OK => &shared.stats.solve_ok,
+            code::INFEASIBLE => &shared.stats.solve_infeasible,
+            code::BUDGET_EXPIRED => &shared.stats.solve_budget_expired,
+            _ => &shared.stats.solve_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        fbb_telemetry::counter("serve_solves", 1);
+        send_response(&job.writer, &resp);
+    }
+}
+
+/// Executes one solve with the CLI's semantics: the same lookup
+/// (`preprocessed_for` — this is where `db_cache_hits` ticks), the same
+/// engines, and response codes that map 1:1 onto the CLI exit contract.
+fn solve_job(job: &Job) -> Response {
+    let req = &job.req;
+    let budget =
+        if req.budget_ms > 0 { Some(Duration::from_millis(req.budget_ms)) } else { None };
+    if job.sw.expired_after(budget) {
+        return error_response(
+            job.request_id,
+            code::BUDGET_EXPIRED,
+            format!("deadline: {} ms budget expired while queued", req.budget_ms),
+        );
+    }
+    let granularity = match req.granularity {
+        0 => Granularity::Block,
+        1 => Granularity::Row,
+        2 => Granularity::Gate,
+        other => {
+            return error_response(
+                job.request_id,
+                code::ERROR,
+                format!("unknown granularity selector {other}"),
+            );
+        }
+    };
+    let clusters = req.clusters as usize;
+    let Some(pre) = job.design.preprocessed_for(granularity, req.beta, clusters) else {
+        return error_response(
+            job.request_id,
+            code::ERROR,
+            format!(
+                "beta {} not compiled in for {granularity:?} (available: {:?})",
+                req.beta,
+                job.design.betas(granularity)
+            ),
+        );
+    };
+
+    if req.flags & flag::ILP != 0 {
+        // Remaining budget = client budget minus queue wait; unbudgeted
+        // requests get the CLI's default ILP limit.
+        let limit = match budget {
+            Some(b) => b.saturating_sub(job.sw.runtime()),
+            None => DEFAULT_ILP_LIMIT,
+        };
+        let outcome = match IlpAllocator::with_time_limit(limit).solve(&pre) {
+            Ok(outcome) => outcome,
+            Err(e) => return fbb_error_response(job.request_id, &e),
+        };
+        match (outcome.solution, outcome.proven_optimal) {
+            (Some(sol), proven) => {
+                if !proven && req.flags & flag::REQUIRE_OPTIMAL != 0 {
+                    return error_response(
+                        job.request_id,
+                        code::BUDGET_EXPIRED,
+                        format!(
+                            "deadline: ILP budget expired without an optimality proof (gap {:.2}%)",
+                            outcome.gap * 100.0
+                        ),
+                    );
+                }
+                Response {
+                    code: code::OK,
+                    request_id: job.request_id,
+                    body: ResponseBody::Solved(SolveReply {
+                        leakage_nw: sol.leakage_nw,
+                        clusters: sol.clusters as u64,
+                        proven_optimal: proven,
+                        assignment: sol.assignment.iter().map(|&l| l as u64).collect(),
+                    }),
+                }
+            }
+            (None, _) => error_response(
+                job.request_id,
+                code::BUDGET_EXPIRED,
+                "deadline: no incumbent within the ILP budget".to_owned(),
+            ),
+        }
+    } else {
+        match TwoPassHeuristic::default().solve(&pre) {
+            Ok(sol) => Response {
+                code: code::OK,
+                request_id: job.request_id,
+                body: ResponseBody::Solved(SolveReply {
+                    leakage_nw: sol.leakage_nw,
+                    clusters: sol.clusters as u64,
+                    proven_optimal: false,
+                    assignment: sol.assignment.iter().map(|&l| l as u64).collect(),
+                }),
+            },
+            Err(e) => fbb_error_response(job.request_id, &e),
+        }
+    }
+}
+
+/// Maps engine errors onto the response-code contract exactly as the CLI
+/// maps them onto exit codes.
+fn fbb_error_response(request_id: u64, e: &FbbError) -> Response {
+    match e {
+        FbbError::Uncompensable { .. } => {
+            error_response(request_id, code::INFEASIBLE, format!("infeasible: {e}"))
+        }
+        other => error_response(request_id, code::ERROR, other.to_string()),
+    }
+}

@@ -24,6 +24,20 @@
 //! each worker would get so little work that thread startup dominates —
 //! small loops run serially instead of paying for threads that slow them
 //! down.
+//!
+//! # Daemons: pass the budget explicitly
+//!
+//! `FBB_THREADS` is a **startup-time** knob. It is the right interface for
+//! a CLI invocation (one process, one environment, one budget), but a
+//! long-running service must not let an ambient process-global read decide
+//! its pool size: the operator configures the worker count when the daemon
+//! starts (`fbb serve --workers N`), and resizing means restarting with a
+//! new value — the environment is never re-consulted to grow or shrink a
+//! live pool. Services therefore resolve their budget **once at startup**
+//! (defaulting to [`threads`] if unconfigured) and thread it through the
+//! explicit-budget entry points [`worker_count_in`], [`parallel_gen_in`],
+//! and [`parallel_map_in`] instead of calling the env-reading [`threads`]
+//! from request paths.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -63,7 +77,17 @@ pub const MIN_JOBS_PER_WORKER: usize = 4;
 /// [`MIN_JOBS_PER_WORKER`] jobs shrink the pool, down to `1` — fully
 /// serial, no threads spawned.
 pub fn worker_count(jobs: usize) -> usize {
-    threads().min(jobs / MIN_JOBS_PER_WORKER).max(1)
+    worker_count_in(threads(), jobs)
+}
+
+/// [`worker_count`] with an explicit thread budget instead of the
+/// env-derived [`threads`] value.
+///
+/// Daemons resolve their budget once at startup (`fbb serve --workers N`)
+/// and pass it here per loop, so a request never consults the process
+/// environment. Budget `0` is treated as `1` — fully serial.
+pub fn worker_count_in(budget: usize, jobs: usize) -> usize {
+    budget.min(jobs / MIN_JOBS_PER_WORKER).max(1)
 }
 
 /// Runs `f(0..n)` across the worker pool and returns the results in index
@@ -80,7 +104,23 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = worker_count(n);
+    parallel_gen_in(threads(), n, f)
+}
+
+/// [`parallel_gen`] with an explicit thread budget instead of the
+/// env-derived [`threads`] value — the entry point for daemons that sized
+/// their pool at startup (see the module docs). The budget is still subject
+/// to [`MIN_JOBS_PER_WORKER`] clamping, so small loops stay serial.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn parallel_gen_in<R, F>(budget: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count_in(budget, n);
     let serial = workers <= 1 || n <= 1;
     if fbb_telemetry::is_enabled() {
         // NOTE: `par_*` counters legitimately vary with `FBB_THREADS` (the
@@ -137,6 +177,20 @@ where
     parallel_gen(items.len(), |i| f(i, &items[i]))
 }
 
+/// [`parallel_map`] with an explicit thread budget (see [`parallel_gen_in`]).
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn parallel_map_in<T, R, F>(budget: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_gen_in(budget, items.len(), |i| f(i, &items[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +236,27 @@ mod tests {
         for jobs in [8, 64, 1000] {
             assert!(worker_count(jobs) <= jobs / MIN_JOBS_PER_WORKER, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn explicit_budget_ignores_env() {
+        // A fixed budget must behave identically whatever FBB_THREADS says;
+        // these are pure-arithmetic checks, no env mutation required.
+        assert_eq!(worker_count_in(0, 10_000), 1);
+        assert_eq!(worker_count_in(1, 10_000), 1);
+        assert_eq!(worker_count_in(4, 10_000), 4);
+        assert_eq!(worker_count_in(4, 8), 2); // MIN_JOBS_PER_WORKER clamp
+        let expect: Vec<usize> = (0..257).map(|i| i * 3).collect();
+        assert_eq!(parallel_gen_in(1, 257, |i| i * 3), expect);
+        assert_eq!(parallel_gen_in(8, 257, |i| i * 3), expect);
+    }
+
+    #[test]
+    fn map_in_matches_map() {
+        let items: Vec<i64> = (0..100).collect();
+        let got = parallel_map_in(3, &items, |i, &x| x + i as i64);
+        let expect: Vec<i64> = (0..100).map(|x| x * 2).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 #     two Table 1 designs, byte-for-byte comparison against the golden
 #     fixtures in tests/golden/, and a corrupt-input smoke (a truncated
 #     .fbb must exit non-zero with a reason, never crash)
+#   - serve lane: a real daemon on an ephemeral port, a 100-request
+#     bench-serve smoke (>=1 cache hit, warm p50 beating the cold CLI),
+#     and a graceful SIGTERM drain (exit 0 + "drained cleanly")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -127,5 +130,60 @@ if [ "$db_code" -eq 0 ] || [ "$db_code" -ge 101 ]; then
     exit 1
 fi
 echo "db lane: compile/solve round trips green, goldens decode, truncation rejected (exit $db_code)"
+
+# Serve lane: run the actual release binary (not `cargo run`, so the signal
+# reaches the daemon itself), parse its ephemeral port, hammer it with a
+# 100-request bench-serve, then check the graceful-drain contract.
+serve_log=$(mktemp /tmp/fbb_serve_check.XXXXXX.log)
+serve_pid=""
+trap 'rm -f "$tel_json" "$serve_log"; rm -rf "$db_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null' EXIT
+./target/release/fbb serve --addr 127.0.0.1:0 --workers 2 > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$serve_log" && break
+    sleep 0.1
+done
+serve_addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$serve_log" | head -1)
+if [ -z "$serve_addr" ]; then
+    echo "check.sh: serve daemon never reported its address" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+# 4 connections x 25 solves = 100 requests against the live daemon; the
+# design is loaded once and hit from the cache thereafter.
+./target/release/fbb bench-serve --addr "$serve_addr" --design c1355 \
+    --connections 4 --requests 25 > /dev/null
+python3 - BENCH_serve.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+for key in ("serve_warm_p50_ns", "serve_warm_p99_ns", "serve_cold_cli_ns",
+            "serve_cache_hits", "serve_cache_misses", "serve_cache_hit_rate"):
+    assert key in snap, f"BENCH_serve.json missing {key}"
+assert snap["serve_requests_total"] >= 100, "bench-serve ran fewer than 100 requests"
+assert snap["serve_cache_hits"] >= 1, "design cache never hit"
+speedup = snap["serve_p50_speedup_vs_cli"]
+assert speedup > 1.0, f"warm daemon p50 no faster than the cold CLI ({speedup})"
+print(f"serve bench: p50 {snap['serve_warm_p50_ns']/1e3:.0f}us, "
+      f"{speedup:.1f}x vs cold CLI, hit rate {snap['serve_cache_hit_rate']:.2f}")
+EOF
+# Graceful drain: SIGTERM must finish queued work and exit 0.
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+serve_code=$?
+set -e
+serve_pid=""
+if [ "$serve_code" -ne 0 ]; then
+    echo "check.sh: serve daemon exited $serve_code under SIGTERM, expected 0" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$serve_log"; then
+    echo "check.sh: serve daemon never reported a clean drain" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+echo "serve lane: bench green, SIGTERM drain clean (exit 0)"
 
 echo "check.sh: all green"

@@ -33,8 +33,11 @@ use fbb::core::{
     check_timing, single_bb, FbbError, FbbProblem, Granularity, IlpAllocator, Preprocessed,
     TwoPassHeuristic,
 };
+use fbb::bench::report::BenchReport;
 use fbb::db::{is_design_db, DesignDb};
 use fbb::device::{BiasLadder, BodyBiasModel, Characterization, Library};
+use fbb::lp::deadline::Stopwatch;
+use fbb::serve::{Client, ServeConfig, Server, SolveRequest};
 use fbb::netlist::{bench_fmt, fmt as nl_fmt, suite, GateId, Netlist};
 use fbb::placement::layout::{self, LayoutOptions};
 use fbb::placement::{Placement, Placer, PlacerOptions};
@@ -127,13 +130,28 @@ struct LoadedDesign {
     db: Option<DesignDb>,
 }
 
+/// The single normalized error path for reading a design file. Every
+/// filesystem failure — missing file, permission denied, path names a
+/// directory — maps to exit 1 with one message shape, so scripts can match
+/// on `cannot load design` regardless of which subcommand tripped it.
+fn read_design_bytes(path: &str) -> Result<Vec<u8>, CliError> {
+    std::fs::read(path)
+        .map_err(|e| CliError::Failure(format!("cannot load design {path}: {e}")))
+}
+
 /// Loads `path` as either a compiled design database (sniffed by magic) or
 /// a text netlist that still needs the cold pipeline. `--rows` only applies
 /// to the cold path — a database carries its placement.
+///
+/// Databases decode through the CRC-trusting fast path: `solve`/`sta` are
+/// warm-path consumers and the container checksums already gate
+/// corruption. `difftest --db` — the integrity oracle — is the one caller
+/// that keeps the fully verified decode.
 fn load_design(args: &[String], path: &str) -> Result<LoadedDesign, CliError> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let bytes = read_design_bytes(path)?;
     if is_design_db(&bytes) {
-        let db = DesignDb::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        let db = DesignDb::decode_fast(&bytes)
+            .map_err(|e| format!("cannot load design {path}: {e}"))?;
         if arg_value(args, "--rows").is_some() {
             eprintln!("note: --rows ignored ({path} is a compiled database with a stored placement)");
         }
@@ -183,8 +201,20 @@ fn usage() -> &'static str {
      fbb solve --netlist FILE [--rows N] [--beta 0.05] [--clusters 3]\n            \
      [--ilp] [--ilp-time-limit SECS] [--require-optimal]\n            \
      [--layout] [--cleanup PCT] [--mc SAMPLES]\n  \
+     fbb serve [--addr 127.0.0.1:7117] [--workers N] [--cache-designs N]\n            \
+     [--queue-depth N]\n  \
+     fbb bench-serve (--design NAME | --netlist FILE.fbb) [--addr HOST:PORT]\n            \
+     [--connections 4] [--requests 64] [--beta 0.05] [--clusters 3]\n  \
      fbb difftest [--cases 64] [--seed 0] [--gap-limit 0.6] [--db FILE.fbb]\n  \
      fbb lint [--json] [--fixtures] [--models] [--designs a,b] [--root DIR]\n\n\
+     `fbb serve` runs the allocation daemon (protocol: docs/PROTOCOL.md):\n\
+     clients load a compiled design once into the in-memory cache, then\n\
+     solve against it repeatedly. Response codes reuse the exit codes\n\
+     below (0 ok, 1 error, 2 infeasible, 3 budget expired). SIGTERM or\n\
+     the SHUTDOWN opcode drains queued work before exiting.\n\
+     `fbb bench-serve` drives a daemon (spawning an in-process one unless\n\
+     --addr is given) and merges latency percentiles plus the cache\n\
+     hit/miss split into BENCH_serve.json.\n\n\
      `fbb compile` runs generate -> place -> characterize -> STA -> path\n\
      extraction once and persists every artifact to a versioned binary\n\
      design database (docs/FORMAT.md). sta/solve/difftest accept the .fbb\n\
@@ -210,6 +240,8 @@ fn run() -> Result<(), CliError> {
         Some("compile") => compile(&args),
         Some("sta") => sta(&args),
         Some("solve") => solve(&args),
+        Some("serve") => serve(&args),
+        Some("bench-serve") => bench_serve(&args),
         Some("difftest") => difftest(&args),
         Some("lint") => lint(&args),
         _ => Err(CliError::Failure(usage().to_owned())),
@@ -283,8 +315,11 @@ fn difftest(args: &[String]) -> Result<(), CliError> {
 /// heuristic whenever it proves optimality. Any disagreement exits 4, same
 /// as the random-case harness.
 fn difftest_db(path: &str, args: &[String]) -> Result<(), CliError> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let db = DesignDb::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let bytes = read_design_bytes(path)?;
+    // The oracle run keeps the fully verified decode on purpose: difftest
+    // exists to catch corruption, so it must not trust the CRCs alone.
+    let db = DesignDb::decode_verified(&bytes)
+        .map_err(|e| format!("cannot load design {path}: {e}"))?;
     println!("{}", db.stats());
     let run_ilp = arg_flag(args, "--ilp");
     let ilp_limit = arg_value(args, "--ilp-time-limit")
@@ -535,9 +570,10 @@ fn sta(args: &[String]) -> Result<(), CliError> {
     // timing tables (the exact jittered STA input and its extracted paths);
     // from a text netlist it is recomputed with unjittered library delays,
     // matching the historical `fbb sta` behaviour.
-    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let bytes = read_design_bytes(&path)?;
     let (stats, dcrit, mut paths) = if is_design_db(&bytes) {
-        let db = DesignDb::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        let db = DesignDb::decode_fast(&bytes)
+            .map_err(|e| format!("cannot load design {path}: {e}"))?;
         println!("compiled database: {}", db.stats());
         (db.netlist.stats(), db.timing.dcrit_ps, db.timing.paths.clone())
     } else {
@@ -844,6 +880,227 @@ fn solve(args: &[String]) -> Result<(), CliError> {
             est.beta_p95 * 100.0
         );
     }
+    Ok(())
+}
+
+/// `fbb serve` — run the allocation daemon until drained.
+///
+/// Prints one `fbb-serve listening on ADDR` line to stdout (flushed before
+/// serving) so scripts can discover an ephemeral port, then blocks in the
+/// accept loop. SIGTERM/SIGINT or a SHUTDOWN frame trigger a graceful
+/// drain: queued solves are answered, then the process exits 0.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    let config = ServeConfig {
+        addr: arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7117".to_owned()),
+        workers: arg_value(args, "--workers").and_then(|v| v.parse().ok()).unwrap_or(0),
+        cache_designs: arg_value(args, "--cache-designs")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        queue_depth: arg_value(args, "--queue-depth").and_then(|v| v.parse().ok()).unwrap_or(0),
+    };
+    fbb::serve::install_signal_handlers();
+    let server =
+        Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    println!(
+        "fbb-serve listening on {} ({} workers)",
+        server.local_addr(),
+        config.resolved_workers()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| CliError::Failure(format!("serve: {e}")))?;
+    eprintln!("fbb-serve: drained cleanly");
+    Ok(())
+}
+
+/// `fbb bench-serve` — drive a daemon with `--connections` concurrent
+/// clients × `--requests` warm solves each, and merge latency percentiles,
+/// the cache hit/miss split, and the cold-CLI comparison into
+/// `BENCH_serve.json`.
+///
+/// Without `--addr` an in-process daemon on an ephemeral port is spawned
+/// and drained afterwards; with `--addr` an external daemon is measured
+/// (and left running). The cold baseline is the real thing: child `fbb
+/// solve --netlist X.fbb` processes, decode and all, timed end to end.
+fn bench_serve(args: &[String]) -> Result<(), CliError> {
+    let beta: f64 = arg_value(args, "--beta").and_then(|v| v.parse().ok()).unwrap_or(0.05);
+    let clusters: usize =
+        arg_value(args, "--clusters").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let connections: usize = arg_value(args, "--connections")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let requests: usize =
+        arg_value(args, "--requests").and_then(|v| v.parse().ok()).unwrap_or(64).max(1);
+
+    // The design under test: a user-supplied compiled database, or a Table
+    // 1 design compiled in-process at the requested β.
+    let bytes: Vec<u8> = if let Some(path) = arg_value(args, "--netlist") {
+        let b = read_design_bytes(&path)?;
+        if !is_design_db(&b) {
+            return Err(format!(
+                "cannot load design {path}: not a compiled database (run fbb compile first)"
+            )
+            .into());
+        }
+        b
+    } else {
+        let name = arg_value(args, "--design").unwrap_or_else(|| "c1355".to_owned());
+        let d = fbb::bench::prepare_design(&name);
+        DesignDb::build(
+            &format!("bench-serve {name}"),
+            &d.netlist,
+            &d.placement,
+            &d.characterization,
+            &[beta],
+            &[Granularity::Row],
+            clusters,
+        )
+        .map_err(classify_fbb_error)?
+        .encode_to_vec()
+    };
+
+    // Cold baseline: full CLI round trips (process spawn + decode + solve)
+    // through a temp file, median of 3.
+    let tmp = std::env::temp_dir().join(format!("fbb-bench-serve-{}.fbb", std::process::id()));
+    std::fs::write(&tmp, &bytes)
+        .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut cold_ns: Vec<u64> = Vec::new();
+    for _ in 0..3 {
+        let sw = Stopwatch::start();
+        let status = std::process::Command::new(&exe)
+            .arg("solve")
+            .arg("--netlist")
+            .arg(&tmp)
+            .args(["--beta", &beta.to_string(), "--clusters", &clusters.to_string()])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .map_err(|e| format!("cannot spawn cold solve: {e}"))?;
+        if !status.success() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(format!("cold `fbb solve` baseline failed ({status})").into());
+        }
+        cold_ns.push(sw.runtime().as_nanos() as u64);
+    }
+    let _ = std::fs::remove_file(&tmp);
+    cold_ns.sort_unstable();
+    let cold_median_ns = cold_ns[cold_ns.len() / 2];
+
+    // The daemon: external via --addr, or in-process on an ephemeral port.
+    let mut inproc = None;
+    let addr = match arg_value(args, "--addr") {
+        Some(addr) => addr,
+        None => {
+            let server = Server::bind(&ServeConfig::default())
+                .map_err(|e| format!("cannot bind in-process server: {e}"))?;
+            let addr = server.local_addr().to_string();
+            let handle = server.shutdown_handle();
+            let join = std::thread::spawn(move || server.run());
+            inproc = Some((handle, join));
+            addr
+        }
+    };
+
+    let run_bench = || -> Result<(Vec<u64>, u64, u64), CliError> {
+        let mut control = Client::connect(&addr)
+            .map_err(|e| CliError::Failure(format!("cannot connect to {addr}: {e}")))?;
+        let stat = |pairs: &[(String, u64)], key: &str| {
+            pairs.iter().find(|(k, _)| k == key).map(|&(_, v)| v).unwrap_or(0)
+        };
+        let before = control.stats().map_err(|e| format!("stats: {e}"))?;
+
+        let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests);
+        let worker_results: Vec<Result<Vec<u64>, String>> =
+            std::thread::scope(|scope| {
+                let bytes = &bytes;
+                let addr = &addr;
+                let handles: Vec<_> = (0..connections)
+                    .map(|_| {
+                        scope.spawn(move || -> Result<Vec<u64>, String> {
+                            let mut client =
+                                Client::connect(addr).map_err(|e| e.to_string())?;
+                            let info =
+                                client.load_bytes(bytes).map_err(|e| e.to_string())?;
+                            let mut lats = Vec::with_capacity(requests);
+                            for _ in 0..requests {
+                                let sw = Stopwatch::start();
+                                client
+                                    .solve(SolveRequest {
+                                        design_hash: info.design_hash,
+                                        granularity: 1, // row
+                                        beta,
+                                        clusters: clusters as u64,
+                                        budget_ms: 0,
+                                        flags: 0,
+                                    })
+                                    .map_err(|e| e.to_string())?;
+                                lats.push(sw.runtime().as_nanos() as u64);
+                            }
+                            Ok(lats)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("bench connection thread panicked"))
+                    .collect()
+            });
+        for result in worker_results {
+            latencies
+                .extend(result.map_err(|e| CliError::Failure(format!("bench client: {e}")))?);
+        }
+        let after = control.stats().map_err(|e| format!("stats: {e}"))?;
+        let hits = stat(&after, "cache_hits").saturating_sub(stat(&before, "cache_hits"));
+        let misses =
+            stat(&after, "cache_misses").saturating_sub(stat(&before, "cache_misses"));
+        Ok((latencies, hits, misses))
+    };
+    let bench_result = run_bench();
+
+    // Drain the in-process daemon even on bench failure.
+    if let Some((handle, join)) = inproc {
+        handle.shutdown();
+        join.join()
+            .map_err(|_| CliError::Failure("in-process server panicked".to_owned()))?
+            .map_err(|e| CliError::Failure(format!("in-process server: {e}")))?;
+    }
+    let (mut latencies, hits, misses) = bench_result?;
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let pct = |p: usize| latencies[(total - 1) * p / 100];
+    let (p50, p99) = (pct(50), pct(99));
+    let mean = latencies.iter().sum::<u64>() / total as u64;
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let speedup = cold_median_ns as f64 / p50 as f64;
+
+    println!("bench-serve: {connections} connections x {requests} requests = {total} solves");
+    println!("  warm latency        p50 {p50:>10} ns   p99 {p99:>10} ns   mean {mean:>10} ns");
+    println!("  cold CLI round trip     {cold_median_ns:>10} ns   (median of {})", cold_ns.len());
+    println!("  p50 speedup vs CLI  {speedup:>14.2}x");
+    println!("  design cache        {hits} hits / {misses} misses  (hit rate {:.3})", hit_rate);
+
+    let path = fbb::bench::report::workspace_file("BENCH_serve.json");
+    let mut report = BenchReport::load(&path);
+    report.set("serve_connections", connections as f64);
+    report.set("serve_requests_total", total as f64);
+    report.set("serve_warm_p50_ns", p50 as f64);
+    report.set("serve_warm_p99_ns", p99 as f64);
+    report.set("serve_warm_mean_ns", mean as f64);
+    report.set("serve_cold_cli_ns", cold_median_ns as f64);
+    report.set("serve_p50_speedup_vs_cli", speedup);
+    report.set("serve_cache_hits", hits as f64);
+    report.set("serve_cache_misses", misses as f64);
+    report.set("serve_cache_hit_rate", hit_rate);
+    report.save(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("snapshot merged into {}", path.display());
+    fbb::telemetry::counter("cli_bench_serve_runs", 1);
     Ok(())
 }
 

@@ -11,6 +11,7 @@
 //! * [`core`] — the paper's clustered-FBB allocation algorithms
 //! * [`telemetry`] — opt-in counters, distributions, and span timers
 //! * [`db`] — versioned binary design database (`fbb compile`, `.fbb` files)
+//! * [`serve`] — allocation daemon with a design cache (`fbb serve`)
 //! * [`testkit`] — independent oracles, differential harness, fault injection
 //! * [`audit`] — repo-invariant lint engine (`fbb lint`) and fixtures
 //! * [`mod@bench`] — experiment harness (design preparation, Table 1 runs)
@@ -25,6 +26,7 @@ pub use fbb_device as device;
 pub use fbb_lp as lp;
 pub use fbb_netlist as netlist;
 pub use fbb_placement as placement;
+pub use fbb_serve as serve;
 pub use fbb_sta as sta;
 pub use fbb_telemetry as telemetry;
 pub use fbb_testkit as testkit;

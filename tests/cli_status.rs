@@ -141,3 +141,81 @@ fn lint_json_is_machine_parsable_shape() {
     assert!(stdout.contains("\"violation_count\": 0"), "stdout: {stdout}");
     assert!(stdout.contains("\"rule_counts\""), "stdout: {stdout}");
 }
+
+// ---------------------------------------------------------------------------
+// Design-load failures: one normalized error path, always exit 1 with a
+// `cannot load design PATH: reason` diagnostic — for a missing file, a
+// directory, or any other filesystem refusal, across every subcommand that
+// reads a design.
+
+#[test]
+fn solve_on_missing_design_exits_1_with_reason() {
+    let out = fbb(&["solve", "--netlist", "/nonexistent/没有/x.fbb"]);
+    let stderr = text(&out.stderr);
+    assert_eq!(code(&out), 1, "stderr: {stderr}");
+    assert!(stderr.contains("cannot load design"), "stderr: {stderr}");
+    assert!(stderr.contains("/nonexistent/没有/x.fbb"), "stderr: {stderr}");
+}
+
+#[test]
+fn solve_on_directory_exits_1_with_reason() {
+    let dir = std::env::temp_dir().join(format!("fbb_cli_dir_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = fbb(&["solve", "--netlist", dir.to_str().expect("utf8")]);
+    let stderr = text(&out.stderr);
+    let _ = std::fs::remove_dir(&dir);
+    assert_eq!(code(&out), 1, "stderr: {stderr}");
+    assert!(stderr.contains("cannot load design"), "stderr: {stderr}");
+}
+
+#[test]
+fn sta_and_difftest_share_the_load_error_path() {
+    for args in [
+        vec!["sta", "--netlist", "/nonexistent/y.fbb"],
+        vec!["difftest", "--db", "/nonexistent/y.fbb"],
+        vec!["bench-serve", "--netlist", "/nonexistent/y.fbb"],
+    ] {
+        let out = fbb(&args);
+        let stderr = text(&out.stderr);
+        assert_eq!(code(&out), 1, "args {args:?}: stderr: {stderr}");
+        assert!(
+            stderr.contains("cannot load design"),
+            "args {args:?}: stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn difftest_db_rejects_corruption_that_solve_would_trust() {
+    // A compiled database with a flipped byte inside a section payload:
+    // both decoders reject it (the container CRC catches it), and the
+    // diagnostic still goes through the normalized load-error path.
+    let nl = adder_netlist("corrupt");
+    let db_path = std::env::temp_dir()
+        .join(format!("fbb_cli_status_corrupt_{}.fbb", std::process::id()));
+    let out = fbb(&[
+        "compile",
+        "--netlist",
+        nl.to_str().expect("utf8"),
+        "-o",
+        db_path.to_str().expect("utf8"),
+    ]);
+    assert_eq!(code(&out), 0, "compile failed: {}", text(&out.stderr));
+    let mut bytes = std::fs::read(&db_path).expect("compiled db readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&db_path, &bytes).expect("rewrite");
+    for sub in [vec!["solve", "--netlist"], vec!["difftest", "--db"]] {
+        let mut args = sub.clone();
+        args.push(db_path.to_str().expect("utf8"));
+        let out = fbb(&args);
+        let stderr = text(&out.stderr);
+        assert_eq!(code(&out), 1, "args {args:?}: stderr: {stderr}");
+        assert!(
+            stderr.contains("cannot load design") || stderr.contains("checksum"),
+            "args {args:?}: stderr: {stderr}"
+        );
+    }
+    let _ = std::fs::remove_file(&db_path);
+    let _ = std::fs::remove_file(&nl);
+}

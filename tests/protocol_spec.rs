@@ -1,0 +1,155 @@
+//! Conformance: `docs/PROTOCOL.md` is normative, so the constants it
+//! states — protocol version, frame-length cap, opcode numbers, response
+//! codes, solve flag bits, and the FNV-1a check values — are parsed out of
+//! the document and compared against the ones compiled into `fbb::serve`.
+//! A mismatch means the spec and the code drifted apart; whichever is
+//! wrong, this test blocks the merge until they agree again.
+
+use fbb::serve::protocol::{code, design_hash, flag, op, MAX_FRAME_LEN, PROTOCOL_VERSION};
+
+fn spec_text() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/PROTOCOL.md");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("normative spec {} unreadable: {e}", path.display()))
+}
+
+/// The line containing `marker`, or a panic naming what went missing.
+fn line_with<'a>(text: &'a str, marker: &str) -> &'a str {
+    text.lines()
+        .find(|l| l.contains(marker))
+        .unwrap_or_else(|| panic!("spec no longer states {marker:?}"))
+}
+
+/// Parses `= N` off the end of a layout line like `protocol version (u8) = 1`.
+fn trailing_number(line: &str) -> u64 {
+    line.rsplit('=')
+        .next()
+        .map(|tail| tail.trim().chars().take_while(char::is_ascii_digit).collect::<String>())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("no trailing number in spec line: {line}"))
+}
+
+/// Extracts the first `|`-delimited table cell value of the row naming
+/// `name`, parsed with the given radix after stripping an `0x` prefix.
+fn table_value(text: &str, name: &str) -> u64 {
+    let row = text
+        .lines()
+        .find(|l| l.starts_with('|') && l.split('|').any(|cell| cell.trim() == name))
+        .unwrap_or_else(|| panic!("spec table has no row named {name:?}"));
+    let first = row
+        .split('|')
+        .map(str::trim)
+        .find(|cell| !cell.is_empty())
+        .unwrap_or_else(|| panic!("empty spec table row: {row}"));
+    let (digits, radix) =
+        first.strip_prefix("0x").map_or((first, 10), |hex| (hex, 16));
+    u64::from_str_radix(digits, radix)
+        .unwrap_or_else(|_| panic!("unparsable value {first:?} in spec row: {row}"))
+}
+
+#[test]
+fn spec_version_and_frame_cap_match_code() {
+    let text = spec_text();
+    assert_eq!(
+        trailing_number(line_with(&text, "protocol version (u8)")),
+        u64::from(PROTOCOL_VERSION),
+        "spec protocol version differs from PROTOCOL_VERSION"
+    );
+    let cap_line = line_with(&text, "`MAX_FRAME_LEN` =");
+    let cap: u64 = cap_line
+        .split('=')
+        .nth(1)
+        .and_then(|tail| tail.split_whitespace().next().and_then(|tok| tok.parse().ok()))
+        .unwrap_or_else(|| panic!("no byte count in spec line: {cap_line}"));
+    assert_eq!(cap, u64::from(MAX_FRAME_LEN), "spec frame cap differs from MAX_FRAME_LEN");
+}
+
+#[test]
+fn spec_opcodes_match_code() {
+    let text = spec_text();
+    for (name, compiled) in [
+        ("PING", op::PING),
+        ("LOAD", op::LOAD),
+        ("LOAD_PATH", op::LOAD_PATH),
+        ("SOLVE", op::SOLVE),
+        ("STATS", op::STATS),
+        ("SHUTDOWN", op::SHUTDOWN),
+    ] {
+        assert_eq!(
+            table_value(&text, name),
+            u64::from(compiled),
+            "spec opcode for {name} differs from the compiled constant"
+        );
+    }
+}
+
+#[test]
+fn spec_response_codes_are_the_cli_exit_codes() {
+    let text = spec_text();
+    // The §3 table leads each row with the numeric code; the "CLI exit"
+    // column restates it. Both must equal the compiled constant.
+    for (marker, compiled) in [
+        ("| 0 | OK", code::OK),
+        ("| 1 | error", code::ERROR),
+        ("| 2 | infeasible", code::INFEASIBLE),
+        ("| 3 | budget expired", code::BUDGET_EXPIRED),
+    ] {
+        let row = line_with(&text, marker);
+        let cells: Vec<&str> =
+            row.split('|').map(str::trim).filter(|c| !c.is_empty()).collect();
+        let lead: u64 = cells[0].parse().expect("leading code digit");
+        let exit: u64 = cells[cells.len() - 1].parse().expect("CLI exit digit");
+        assert_eq!(lead, u64::from(compiled), "spec response code drifted: {row}");
+        assert_eq!(exit, u64::from(compiled), "spec CLI exit mapping drifted: {row}");
+    }
+}
+
+#[test]
+fn spec_solve_flags_match_code() {
+    let text = spec_text();
+    // §4.3 states the bit positions in prose: "bit 0 = ILP", "bit 1 =
+    // REQUIRE_OPTIMAL".
+    let ilp_bit: u32 = line_with(&text, "= ILP")
+        .split("bit")
+        .nth(1)
+        .and_then(|tail| tail.split_whitespace().next())
+        .and_then(|tok| tok.parse().ok())
+        .expect("ILP bit position");
+    let opt_bit: u32 = line_with(&text, "= REQUIRE_OPTIMAL")
+        .split("bit")
+        .nth(1)
+        .and_then(|tail| tail.split_whitespace().next())
+        .and_then(|tok| tok.parse().ok())
+        .expect("REQUIRE_OPTIMAL bit position");
+    assert_eq!(1u8 << ilp_bit, flag::ILP, "spec ILP flag bit drifted");
+    assert_eq!(1u8 << opt_bit, flag::REQUIRE_OPTIMAL, "spec REQUIRE_OPTIMAL flag bit drifted");
+}
+
+#[test]
+fn spec_hash_check_values_match_code() {
+    let text = spec_text();
+    let pins: [(&[u8], &str); 3] = [
+        (b"", r#"design_hash("")"#),
+        (b"a", r#"design_hash("a")"#),
+        (b"fbb", r#"design_hash("fbb")"#),
+    ];
+    for (input, marker) in pins {
+        let line = line_with(&text, marker);
+        let stated = line
+            .split(marker)
+            .nth(1)
+            .and_then(|tail| tail.split('=').nth(1))
+            .map(str::trim)
+            .and_then(|tok| {
+                let hex: String =
+                    tok.trim_start_matches("0x").chars().take_while(char::is_ascii_hexdigit).collect();
+                u64::from_str_radix(&hex, 16).ok()
+            })
+            .unwrap_or_else(|| panic!("no hash value in spec line: {line}"));
+        assert_eq!(
+            stated,
+            design_hash(input),
+            "spec FNV check value for {marker} differs from the implementation"
+        );
+    }
+}
