@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use fbb_lp::{solve_mip, MipOptions, MipStatus, Model, Sense, VarKind};
+use fbb_lp::{solve_mip, MipOptions, MipStatus, Model, Sense, StructureHints, VarKind};
 
 use crate::{ClusterSolution, FbbError, Preprocessed, TwoPassHeuristic};
 
@@ -113,6 +113,20 @@ impl IlpAllocator {
         model.add_constraint(budget, Sense::Le, pre.max_clusters as f64)?;
 
         Ok(model)
+    }
+
+    /// Structural row indices of [`IlpAllocator::build_model`]'s layout —
+    /// Eq. 3 one-hots first, then the Eq. 2 path rows, then the Eq. 4
+    /// linking rows and budget row — for the `fbb-lp` cut separator.
+    pub fn structure_hints(pre: &Preprocessed) -> StructureHints {
+        let n = pre.n_rows;
+        let p = pre.levels;
+        let n_paths = pre.paths.len();
+        StructureHints {
+            one_hot_rows: (0..n).collect(),
+            linking_rows: (n + n_paths..n + n_paths + p).collect(),
+            budget_row: Some(n + n_paths + p),
+        }
     }
 
     /// Audits a model produced by [`IlpAllocator::build_model`] against the
@@ -285,6 +299,10 @@ impl IlpAllocator {
         let options = MipOptions {
             time_limit: self.time_limit,
             node_limit: self.node_limit,
+            // The builder knows which rows are Eq. 3 one-hots, Eq. 4
+            // linking, and the budget; the cut separator shape-verifies
+            // each hint rather than trusting the indices.
+            hints: Some(Self::structure_hints(pre)),
             ..MipOptions::default()
         };
         let mip = solve_mip(&model, &options, incumbent)?;

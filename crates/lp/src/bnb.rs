@@ -1,5 +1,19 @@
-//! Best-first branch & bound over the LP relaxation, with warm-started
-//! node re-solves.
+//! Best-first branch & bound over the LP relaxation, with a transforming
+//! presolve front-end, root cutting planes, pseudocost branching, and
+//! warm-started node re-solves.
+//!
+//! [`solve_mip`] is now a two-layer pipeline (DESIGN.md §5j):
+//!
+//! 1. the **presolve wrapper** validates and audits the model once per
+//!    tree, runs [`crate::presolve`] on integer models, solves the reduced
+//!    model, and maps the answer back through the [`PostsolveMap`] — the
+//!    restored point is re-priced with the *original* model's objective
+//!    summation order, so presolve-on and presolve-off report the same
+//!    objective bits;
+//! 2. the **tree** ([`branch_and_bound`]) separates clique/cover cuts at
+//!    the root (appended to the engine's matrix before the tree starts, so
+//!    warm starts stay sound), then searches best-first with pseudocost
+//!    branching seeded by strong-branch probes on the first nodes.
 //!
 //! One [`SparseEngine`] is built per tree and every explored node records
 //! its optimal basis; children inherit it (shared via `Rc`, since both
@@ -7,7 +21,10 @@
 //! dual simplex after their single branching-bound change instead of
 //! running two-phase from scratch. Any warm-path bailout falls back to a
 //! cold solve of the same node, so warm-starting can only change *how* a
-//! relaxation is solved, never its answer.
+//! relaxation is solved, never its answer. Warm-started children re-check
+//! the root cuts against their relaxation point and fall back cold on a
+//! violation (which the shared matrix makes impossible in practice — the
+//! re-check is the §5j safety net, counted as `bnb_cut_child_rechecks`).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -16,10 +33,26 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use crate::branch::Pseudocosts;
+use crate::cuts::{self, Cut, CutKind, StructureHints};
 use crate::model::VarKind;
+use crate::presolve::{self, Presolved};
 use crate::revised::{Basis, SolveOutcome, SparseEngine};
 use crate::simplex::LpStatus;
 use crate::{LpError, Model};
+
+/// Separation rounds at the root before the tree starts.
+const MAX_CUT_ROUNDS: usize = 5;
+/// Tolerance for the warm-child cut re-check.
+const CUT_RECHECK_TOL: f64 = 1e-6;
+/// Nodes on which strong-branch probes may run (they seed the pseudocost
+/// table with real dual-simplex observations).
+const STRONG_BRANCH_NODES: usize = 2;
+/// Candidates probed per strong-branching node.
+const STRONG_BRANCH_CANDIDATES: usize = 4;
+/// Degradation recorded for a probe whose child relaxation is infeasible:
+/// branching there closes the child outright, the strongest possible move.
+const STRONG_INFEASIBLE_DEGRADATION: f64 = 1e8;
 
 /// Branch-and-bound configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +71,21 @@ pub struct MipOptions {
     /// node, which the equivalence tests and the benchmark use as the
     /// comparison baseline.
     pub warm_start: bool,
+    /// Run the transforming presolve on integer models before the tree
+    /// (fixed/free column elimination, redundant/duplicate row drops,
+    /// activity-range bound tightening) and postsolve the answer back.
+    /// On by default; the off position is the bit-exactness baseline of
+    /// `crates/testkit/tests/presolve_equivalence.rs`.
+    pub presolve: bool,
+    /// Separate clique and cover cuts at the root node. On by default.
+    pub cuts: bool,
+    /// Pseudocost branching with strong-branch initialization. Off falls
+    /// back to the most-fractional rule. On by default.
+    pub pseudocost: bool,
+    /// Structural row indices from the model generator for the cut
+    /// separator (shape-verified, never trusted). `None` = detect by
+    /// scanning every row.
+    pub hints: Option<StructureHints>,
 }
 
 impl Default for MipOptions {
@@ -48,6 +96,10 @@ impl Default for MipOptions {
             rel_gap: 1e-6,
             int_tol: 1e-6,
             warm_start: true,
+            presolve: true,
+            cuts: true,
+            pseudocost: true,
+            hints: None,
         }
     }
 }
@@ -106,6 +158,16 @@ impl MipSolution {
     }
 }
 
+/// How a node was created: variable, direction, fractional distance, and
+/// the parent relaxation objective — everything a pseudocost observation
+/// needs once the child's own relaxation solves.
+struct BranchInfo {
+    var: usize,
+    up: bool,
+    dist: f64,
+    parent_obj: f64,
+}
+
 struct Node {
     bound: f64,
     lower: Vec<f64>,
@@ -113,6 +175,8 @@ struct Node {
     /// Parent's optimal basis, shared by both siblings; `None` at the root
     /// (and below any node whose relaxation produced no basis).
     basis: Option<Rc<Basis>>,
+    /// Branching step that created this node; `None` at the root.
+    branch: Option<BranchInfo>,
 }
 
 impl PartialEq for Node {
@@ -140,6 +204,12 @@ impl Ord for Node {
 /// tree — and is also how warm-starting against `lp_solve` worked in
 /// practice).
 ///
+/// With `options.presolve` (the default) integer models first pass through
+/// [`crate::presolve::presolve`]; the reduced solve's answer is restored
+/// through the [`PostsolveMap`](crate::presolve::PostsolveMap) and re-priced
+/// against the original model, so the reported status, point, and objective
+/// bits match the presolve-off solve.
+///
 /// # Errors
 ///
 /// Propagates model validation errors and simplex failures.
@@ -153,9 +223,110 @@ pub fn solve_mip(
     if fbb_telemetry::is_enabled() {
         // Layer-2 audit (DESIGN.md §5g): observability only — defects are
         // published as audit_* counters, never change the solve result.
+        // Exactly once per tree: neither the reduced solve below nor any
+        // node re-audits (pinned by crates/lp/tests/audit_once.rs).
         model.audit().emit_telemetry();
     }
     let clock = crate::deadline::Stopwatch::start();
+
+    if !options.presolve || !model.has_integers() {
+        return branch_and_bound(model, options, options.hints.as_ref(), incumbent, &clock);
+    }
+
+    match presolve::presolve(model) {
+        Presolved::Infeasible => {
+            if fbb_telemetry::is_enabled() {
+                fbb_telemetry::counter("lp_presolve_runs", 1);
+                fbb_telemetry::counter("lp_presolve_infeasible", 1);
+            }
+            Ok(MipSolution {
+                status: MipStatus::Infeasible,
+                x: Vec::new(),
+                objective: 0.0,
+                best_bound: f64::INFINITY,
+                nodes: 0,
+                elapsed: clock.runtime(),
+            })
+        }
+        Presolved::Reduced { model: reduced, map } => {
+            if fbb_telemetry::is_enabled() {
+                let st = map.stats();
+                fbb_telemetry::counter("lp_presolve_runs", 1);
+                fbb_telemetry::counter("lp_presolve_cols_eliminated", st.cols_eliminated as u64);
+                fbb_telemetry::counter("lp_presolve_rows_dropped", st.rows_dropped as u64);
+                fbb_telemetry::counter("lp_presolve_bounds_tightened", st.bounds_tightened as u64);
+            }
+            if map.reduced_cols() == 0 {
+                // Presolve solved the model outright: every column is
+                // pinned and every row verified satisfied.
+                let x = map.restore(&[]);
+                let objective = model.objective_value(&x);
+                // An already-expired budget still never reports "proven":
+                // same contract as a tree that trips the limit on entry.
+                let status = if clock.expired_after(options.time_limit) {
+                    MipStatus::Feasible
+                } else {
+                    MipStatus::Optimal
+                };
+                return Ok(MipSolution {
+                    status,
+                    x,
+                    objective,
+                    best_bound: objective,
+                    nodes: 0,
+                    elapsed: clock.runtime(),
+                });
+            }
+            if reduced.constraint_count() == 0 {
+                // Row-free survivors are exactly the free columns whose
+                // objective-improving bound is infinite (anything else was
+                // pinned): the model is unbounded.
+                return Ok(MipSolution {
+                    status: MipStatus::Unbounded,
+                    x: Vec::new(),
+                    objective: 0.0,
+                    best_bound: f64::NEG_INFINITY,
+                    nodes: 0,
+                    elapsed: clock.runtime(),
+                });
+            }
+            let hints = options.hints.as_ref().map(|h| map.translate_hints(h));
+            let reduced_incumbent = incumbent.and_then(|(obj, x)| {
+                if !model.is_feasible(&x, 1e-6) {
+                    return None;
+                }
+                let rx = map.project(&x);
+                // Projection of a feasible point stays feasible (implied
+                // bounds only remove infeasible values); the re-check is
+                // defensive so a presolve defect can at worst lose the
+                // seed, never corrupt the tree.
+                reduced.is_feasible(&rx, 1e-6).then(|| (obj - map.fixed_cost(), rx))
+            });
+            let mut sol =
+                branch_and_bound(&reduced, options, hints.as_ref(), reduced_incumbent, &clock)?;
+            if !sol.x.is_empty() {
+                sol.x = map.restore(&sol.x);
+                sol.objective = model.objective_value(&sol.x);
+            }
+            sol.best_bound += map.fixed_cost();
+            if sol.status == MipStatus::Optimal {
+                sol.best_bound = sol.objective;
+            }
+            sol.elapsed = clock.runtime();
+            Ok(sol)
+        }
+    }
+}
+
+/// The actual tree search. `model` is the (possibly reduced) model the
+/// engine runs on; `hints` are stated in *its* row indices.
+fn branch_and_bound(
+    model: &Model,
+    options: &MipOptions,
+    hints: Option<&StructureHints>,
+    incumbent: Option<(f64, Vec<f64>)>,
+    clock: &crate::deadline::Stopwatch,
+) -> Result<MipSolution, LpError> {
     let n = model.var_count();
     let int_vars: Vec<usize> = (0..n).filter(|&j| model.vars[j].kind == VarKind::Integer).collect();
 
@@ -171,14 +342,78 @@ pub fn solve_mip(
     let root_lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
     let root_upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
 
+    // Root cut separation (§5j): solve the root relaxation, add every
+    // violated valid inequality, repeat on the strengthened relaxation.
+    // The cuts are appended to the model the engine is built from, so the
+    // whole tree prices them — warm starts included.
+    let mut tel_cut_rounds = 0u64;
+    let mut tel_cuts_clique = 0u64;
+    let mut tel_cuts_cover = 0u64;
+    let mut root_cuts: Vec<Cut> = Vec::new();
+    let mut cut_model: Option<Model> = None;
+    if options.cuts && !int_vars.is_empty() {
+        let structure = cuts::detect_structure(model, hints);
+        if structure.has_candidates() {
+            let mut strengthened = model.clone();
+            for _ in 0..MAX_CUT_ROUNDS {
+                if clock.expired_after(options.time_limit) {
+                    break;
+                }
+                let deadline = clock.deadline_after(options.time_limit);
+                let outcome = {
+                    let mut root_engine = SparseEngine::new(&strengthened);
+                    root_engine.solve_cold(&root_lower, &root_upper, deadline)?
+                };
+                if outcome.solution.status != LpStatus::Optimal {
+                    break;
+                }
+                let fresh: Vec<Cut> = cuts::separate(model, &structure, &outcome.solution.x)
+                    .into_iter()
+                    .filter(|c| !root_cuts.contains(c))
+                    .collect();
+                if fresh.is_empty() {
+                    break;
+                }
+                let mut added = false;
+                for cut in fresh {
+                    if strengthened.add_constraint(cut.terms.clone(), cut.sense, cut.rhs).is_err()
+                    {
+                        continue;
+                    }
+                    match cut.kind {
+                        CutKind::Clique => tel_cuts_clique += 1,
+                        CutKind::Cover => tel_cuts_cover += 1,
+                    }
+                    root_cuts.push(cut);
+                    added = true;
+                }
+                if !added {
+                    break;
+                }
+                tel_cut_rounds += 1;
+            }
+            if !root_cuts.is_empty() {
+                cut_model = Some(strengthened);
+            }
+        }
+    }
+
     let mut heap = BinaryHeap::new();
-    heap.push(Node { bound: f64::NEG_INFINITY, lower: root_lower, upper: root_upper, basis: None });
+    heap.push(Node {
+        bound: f64::NEG_INFINITY,
+        lower: root_lower,
+        upper: root_upper,
+        basis: None,
+        branch: None,
+    });
 
-    // One engine for the whole tree: the constraint matrix is shared by
-    // every node (only variable bounds differ), which is exactly what makes
-    // parent-basis warm starts sound.
-    let mut engine = SparseEngine::new(model);
+    // One engine for the whole tree: the constraint matrix — original rows
+    // plus the root cuts — is shared by every node (only variable bounds
+    // differ), which is exactly what makes parent-basis warm starts sound.
+    let engine_model: &Model = cut_model.as_ref().unwrap_or(model);
+    let mut engine = SparseEngine::new(engine_model);
 
+    let mut pc = Pseudocosts::new(n);
     let mut nodes = 0usize;
     let mut limit_hit = false;
     let mut gap_proven = false;
@@ -189,6 +424,9 @@ pub fn solve_mip(
     let mut tel_incumbents = 0u64;
     let mut tel_warm_starts = 0u64;
     let mut tel_warm_fallbacks = 0u64;
+    let mut tel_cut_rechecks = 0u64;
+    let mut tel_probes = 0u64;
+    let mut tel_pc_branches = 0u64;
 
     while let Some(node) = heap.pop() {
         if best_obj.is_finite() && node.bound.is_finite() {
@@ -222,10 +460,12 @@ pub fn solve_mip(
         // Warm-start from the parent basis when we have one; a warm-path
         // bailout (`Ok(None)`) re-solves the same node cold.
         let warm_basis = if options.warm_start { node.basis.as_deref() } else { None };
-        let outcome: SolveOutcome = match warm_basis {
+        let mut was_warm = false;
+        let mut outcome: SolveOutcome = match warm_basis {
             Some(basis) => match engine.solve_warm(&node.lower, &node.upper, deadline, basis)? {
                 Some(out) => {
                     tel_warm_starts += 1;
+                    was_warm = true;
                     out
                 }
                 None => {
@@ -235,6 +475,16 @@ pub fn solve_mip(
             },
             None => engine.solve_cold(&node.lower, &node.upper, deadline)?,
         };
+        if was_warm && !root_cuts.is_empty() && outcome.solution.status == LpStatus::Optimal {
+            // Re-check the root cuts at the warm-started child. The cuts
+            // live in the engine's matrix, so a violation means the warm
+            // path went wrong: fall back to a cold solve of the node.
+            tel_cut_rechecks += 1;
+            if root_cuts.iter().any(|c| !c.is_satisfied(&outcome.solution.x, CUT_RECHECK_TOL)) {
+                tel_warm_fallbacks += 1;
+                outcome = engine.solve_cold(&node.lower, &node.upper, deadline)?;
+            }
+        }
         if fbb_telemetry::is_enabled() {
             fbb_telemetry::record("bnb_node_simplex_iterations", outcome.iterations as f64);
         }
@@ -260,13 +510,50 @@ pub fn solve_mip(
             }
             LpStatus::Optimal => {}
         }
+        // Feed the pseudocost table with the observed bound movement of the
+        // branch that created this node.
+        if let Some(b) = &node.branch {
+            pc.observe(b.var, b.up, b.dist, relax.objective - b.parent_obj);
+        }
         if best_obj.is_finite() && relax.objective >= best_obj - 1e-9 {
             tel_pruned += 1;
             continue; // dominated
         }
 
         // Fractional integer variables.
-        let frac_var = pick_branch_var(model, &int_vars, &relax.x, options.int_tol);
+        let frac_var = if options.pseudocost {
+            let cands = fractional_candidates(model, &int_vars, &relax.x, options.int_tol);
+            if cands.is_empty() {
+                None
+            } else {
+                if nodes <= STRONG_BRANCH_NODES && options.warm_start {
+                    if let Some(basis) = relax_basis.as_ref() {
+                        strong_branch_probes(
+                            &mut engine,
+                            &mut pc,
+                            &cands,
+                            &relax.x,
+                            relax.objective,
+                            &node,
+                            clock,
+                            options.time_limit,
+                            basis,
+                            &mut tel_probes,
+                        )?;
+                    }
+                }
+                tel_pc_branches += 1;
+                cands
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| {
+                        pc.score(a.0, a.1).total_cmp(&pc.score(b.0, b.1)).then(b.0.cmp(&a.0))
+                    })
+                    .map(|(j, _)| j)
+            }
+        } else {
+            pick_branch_var(model, &int_vars, &relax.x, options.int_tol)
+        };
         match frac_var {
             None => {
                 // Integer feasible.
@@ -299,12 +586,19 @@ pub fn solve_mip(
                 }
                 tel_branches += 1;
                 let xv = relax.x[j];
+                let frac = xv - xv.floor();
                 let inherited = relax_basis.map(Rc::new);
                 let mut down = Node {
                     bound: relax.objective,
                     lower: node.lower.clone(),
                     upper: node.upper.clone(),
                     basis: inherited.clone(),
+                    branch: Some(BranchInfo {
+                        var: j,
+                        up: false,
+                        dist: frac,
+                        parent_obj: relax.objective,
+                    }),
                 };
                 down.upper[j] = xv.floor();
                 let mut up = Node {
@@ -312,6 +606,12 @@ pub fn solve_mip(
                     lower: node.lower,
                     upper: node.upper,
                     basis: inherited,
+                    branch: Some(BranchInfo {
+                        var: j,
+                        up: true,
+                        dist: 1.0 - frac,
+                        parent_obj: relax.objective,
+                    }),
                 };
                 up.lower[j] = xv.ceil();
                 heap.push(down);
@@ -365,14 +665,100 @@ pub fn solve_mip(
         fbb_telemetry::counter("bnb_incumbent_updates", tel_incumbents);
         fbb_telemetry::counter("bnb_warm_starts", tel_warm_starts);
         fbb_telemetry::counter("bnb_warm_start_fallbacks", tel_warm_fallbacks);
+        fbb_telemetry::counter("bnb_cut_rounds", tel_cut_rounds);
+        fbb_telemetry::counter("bnb_cuts_clique_added", tel_cuts_clique);
+        fbb_telemetry::counter("bnb_cuts_cover_added", tel_cuts_cover);
+        fbb_telemetry::counter("bnb_cut_child_rechecks", tel_cut_rechecks);
+        fbb_telemetry::counter("bnb_strong_branch_probes", tel_probes);
+        fbb_telemetry::counter("bnb_pseudocost_branches", tel_pc_branches);
         fbb_telemetry::record("bnb_open_nodes", heap.len() as f64);
         fbb_telemetry::record("bnb_gap", solution.gap());
     }
     Ok(solution)
 }
 
+/// Fractional integer variables of the highest branching-priority class
+/// that has any, as `(var, distance to floor)`.
+fn fractional_candidates(
+    model: &Model,
+    int_vars: &[usize],
+    x: &[f64],
+    tol: f64,
+) -> Vec<(usize, f64)> {
+    let mut cands: Vec<(usize, f64)> = Vec::new();
+    let mut top = i32::MIN;
+    for &j in int_vars {
+        let frac = (x[j] - x[j].round()).abs();
+        if frac <= tol {
+            continue;
+        }
+        let prio = model.vars[j].priority;
+        if prio > top {
+            top = prio;
+            cands.clear();
+        }
+        if prio == top {
+            cands.push((j, x[j] - x[j].floor()));
+        }
+    }
+    cands
+}
+
+/// Dual-simplex probes both children of the most promising candidates from
+/// the node's own optimal basis, recording the observed degradations as
+/// pseudocost seeds. Probes are advisory: any probe that bails (warm-path
+/// giveup, deadline) is simply skipped.
+#[allow(clippy::too_many_arguments)]
+fn strong_branch_probes(
+    engine: &mut SparseEngine,
+    pc: &mut Pseudocosts,
+    cands: &[(usize, f64)],
+    x: &[f64],
+    parent_obj: f64,
+    node: &Node,
+    clock: &crate::deadline::Stopwatch,
+    time_limit: Option<Duration>,
+    basis: &Basis,
+    tel_probes: &mut u64,
+) -> Result<(), LpError> {
+    let mut order: Vec<(usize, f64)> = cands.to_vec();
+    order.sort_by(|a, b| pc.score(b.0, b.1).total_cmp(&pc.score(a.0, a.1)).then(a.0.cmp(&b.0)));
+    for &(j, frac) in order.iter().take(STRONG_BRANCH_CANDIDATES) {
+        if pc.reliable(j) {
+            continue;
+        }
+        if clock.expired_after(time_limit) {
+            break;
+        }
+        let probe_deadline = clock.deadline_after(time_limit);
+        let xv = x[j];
+        let mut upper = node.upper.clone();
+        upper[j] = xv.floor();
+        *tel_probes += 1;
+        if let Some(out) = engine.solve_warm(&node.lower, &upper, probe_deadline, basis)? {
+            match out.solution.status {
+                LpStatus::Optimal => pc.observe(j, false, frac, out.solution.objective - parent_obj),
+                LpStatus::Infeasible => pc.observe(j, false, frac, STRONG_INFEASIBLE_DEGRADATION),
+                _ => {}
+            }
+        }
+        let mut lower = node.lower.clone();
+        lower[j] = xv.ceil();
+        *tel_probes += 1;
+        if let Some(out) = engine.solve_warm(&lower, &node.upper, probe_deadline, basis)? {
+            match out.solution.status {
+                LpStatus::Optimal => pc.observe(j, true, 1.0 - frac, out.solution.objective - parent_obj),
+                LpStatus::Infeasible => pc.observe(j, true, 1.0 - frac, STRONG_INFEASIBLE_DEGRADATION),
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Chooses the branching variable: highest priority class first, then most
-/// fractional.
+/// fractional. The pre-pseudocost rule, kept as the `pseudocost: false`
+/// baseline.
 fn pick_branch_var(model: &Model, int_vars: &[usize], x: &[f64], tol: f64) -> Option<usize> {
     let mut best: Option<(i32, f64, usize)> = None;
     for &j in int_vars {
@@ -394,6 +780,12 @@ fn pick_branch_var(model: &Model, int_vars: &[usize], x: &[f64], tol: f64) -> Op
 mod tests {
     use super::*;
     use crate::Sense;
+
+    /// Every feature toggle off: the PR-7-era tree, used as the baseline
+    /// side of the equivalence assertions.
+    fn raw_options() -> MipOptions {
+        MipOptions { presolve: false, cuts: false, pseudocost: false, ..Default::default() }
+    }
 
     #[test]
     fn pure_lp_passthrough() {
@@ -443,6 +835,10 @@ mod tests {
         m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 3.0).unwrap();
         let s = solve_mip(&m, &MipOptions::default(), None).unwrap();
         assert_eq!(s.status, MipStatus::Infeasible);
+        // Presolve catches this statically; the raw tree agrees.
+        let raw = solve_mip(&m, &raw_options(), None).unwrap();
+        assert_eq!(raw.status, MipStatus::Infeasible);
+        assert_eq!(s.best_bound.to_bits(), raw.best_bound.to_bits());
     }
 
     #[test]
@@ -582,10 +978,11 @@ mod tests {
         // (bound 2.5) is explored, its children are pushed, and the limit
         // trips on the second pop. The popped child must stay in the
         // bookkeeping: best_bound must not exceed the true optimum 3.
+        // Presolve off: it would solve this model outright at the root.
         let mut m = Model::new();
         let x = m.add_integer(0.0, 10.0, 1.0);
         m.add_constraint(vec![(x, 1.0)], Sense::Ge, 2.5).unwrap();
-        let opts = MipOptions { node_limit: Some(1), ..Default::default() };
+        let opts = MipOptions { node_limit: Some(1), presolve: false, ..Default::default() };
         let s = solve_mip(&m, &opts, None).unwrap();
         assert_ne!(s.status, MipStatus::Optimal);
         assert!(s.best_bound <= 3.0 + 1e-9, "bound {} overstated", s.best_bound);
@@ -626,5 +1023,79 @@ mod tests {
         m.add_constraint(vec![(x, 1.0), (y, 1.0), (z, 1.0)], Sense::Le, 1.5).unwrap();
         let s = solve_mip(&m, &MipOptions::default(), None).unwrap();
         assert!((s.objective + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn presolve_solves_trivial_model_without_nodes() {
+        // x >= 7.2 integer with positive objective: presolve tightens the
+        // lower bound to 8, drops the row, pins the free column — no tree.
+        let mut m = Model::new();
+        let x = m.add_integer(0.0, 100.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Sense::Ge, 7.2).unwrap();
+        let s = solve_mip(&m, &MipOptions::default(), None).unwrap();
+        assert_eq!(s.status, MipStatus::Optimal);
+        assert_eq!(s.nodes, 0);
+        assert!((s.objective - 8.0).abs() < 1e-12);
+        assert_eq!(s.best_bound.to_bits(), s.objective.to_bits());
+        let raw = solve_mip(&m, &raw_options(), None).unwrap();
+        assert_eq!(raw.status, MipStatus::Optimal);
+        assert_eq!(s.objective.to_bits(), raw.objective.to_bits());
+    }
+
+    #[test]
+    fn all_toggles_agree_on_a_branching_model() {
+        // Covering model from warm_and_cold_trees_agree: the full pipeline
+        // (presolve + cuts + pseudocost) and the raw tree must agree on
+        // status and objective bits.
+        let mut m = Model::new();
+        let vars: Vec<usize> = (0..15).map(|i| m.add_binary(-1.0 - (i as f64) * 0.3)).collect();
+        for chunk in vars.chunks(5) {
+            let terms = chunk.iter().map(|&v| (v, 1.0)).collect();
+            m.add_constraint(terms, Sense::Le, 2.0).unwrap();
+        }
+        let terms = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(terms, Sense::Ge, 3.0).unwrap();
+
+        let full = solve_mip(&m, &MipOptions::default(), None).unwrap();
+        let raw = solve_mip(&m, &raw_options(), None).unwrap();
+        assert_eq!(full.status, MipStatus::Optimal);
+        assert_eq!(raw.status, MipStatus::Optimal);
+        assert_eq!(full.objective.to_bits(), raw.objective.to_bits());
+        assert_eq!(full.best_bound.to_bits(), raw.best_bound.to_bits());
+    }
+
+    #[test]
+    fn unbounded_integer_model_detected_through_presolve() {
+        // A free integer column with an objective-improving infinite bound
+        // and no coupling row: presolve keeps it and reports Unbounded.
+        let mut m = Model::new();
+        let _free = m.add_integer(0.0, f64::INFINITY, -1.0);
+        let y = m.add_binary(1.0);
+        m.add_constraint(vec![(y, 1.0)], Sense::Ge, 0.4).unwrap();
+        let s = solve_mip(&m, &MipOptions::default(), None).unwrap();
+        assert_eq!(s.status, MipStatus::Unbounded);
+        assert_eq!(s.best_bound, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn cuts_shrink_the_tree_on_a_cover_model() {
+        // Knapsack whose LP vertex is fractional: the cover cut closes the
+        // root gap. The cut tree must explore no more nodes than the raw
+        // tree and land on the same objective bits.
+        let mut m = Model::new();
+        let vars: Vec<usize> =
+            [-10.0, -13.0, -7.0, -4.0].iter().map(|&c| m.add_binary(c)).collect();
+        m.add_constraint(
+            vec![(vars[0], 3.0), (vars[1], 4.0), (vars[2], 2.0), (vars[3], 1.0)],
+            Sense::Le,
+            6.0,
+        )
+        .unwrap();
+        let with_cuts = MipOptions { presolve: false, pseudocost: false, ..Default::default() };
+        let s = solve_mip(&m, &with_cuts, None).unwrap();
+        let raw = solve_mip(&m, &raw_options(), None).unwrap();
+        assert_eq!(s.status, MipStatus::Optimal);
+        assert_eq!(s.objective.to_bits(), raw.objective.to_bits());
+        assert!(s.nodes <= raw.nodes, "cuts grew the tree: {} > {}", s.nodes, raw.nodes);
     }
 }

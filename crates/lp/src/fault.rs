@@ -25,6 +25,7 @@ use std::cell::Cell;
 thread_local! {
     static ITERATION_LIMIT_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
     static FLIP_PIVOT_SIGN: Cell<bool> = const { Cell::new(false) };
+    static SWAP_POSTSOLVE_ENTRIES: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Overrides the simplex iteration budget for subsequent solves on this
@@ -42,10 +43,22 @@ pub fn set_flip_pivot_sign(armed: bool) {
     FLIP_PIVOT_SIGN.with(|c| c.set(armed));
 }
 
+/// Arms or disarms the transposed-postsolve-map bug for subsequent solves
+/// on this thread. While armed, `PostsolveMap::restore` swaps the values of
+/// the first two surviving columns of the elimination map — the classic
+/// off-by-one bookkeeping slip a hand-rolled presolve invites. The solve
+/// still reports `Optimal` with a plausible objective; only an independent
+/// oracle replaying the *decoded* solution can catch it (`fbb difftest
+/// --inject-postsolve-bug`).
+pub fn set_swap_postsolve_entries(armed: bool) {
+    SWAP_POSTSOLVE_ENTRIES.with(|c| c.set(armed));
+}
+
 /// Disarms every hook on this thread.
 pub fn reset() {
     set_iteration_limit_override(None);
     set_flip_pivot_sign(false);
+    set_swap_postsolve_entries(false);
 }
 
 /// Runs `f` with the iteration budget overridden, restoring the previous
@@ -73,10 +86,26 @@ impl Drop for RestoreIterLimit {
     }
 }
 
+/// Runs `f` with the transposed-postsolve-map bug armed, restoring the
+/// previous state afterwards (also on unwind via the drop guard).
+pub fn with_swapped_postsolve_entries<T>(f: impl FnOnce() -> T) -> T {
+    let previous = SWAP_POSTSOLVE_ENTRIES.with(Cell::get);
+    let _guard = RestoreSwap(previous);
+    set_swap_postsolve_entries(true);
+    f()
+}
+
 struct RestoreFlip(bool);
 impl Drop for RestoreFlip {
     fn drop(&mut self) {
         set_flip_pivot_sign(self.0);
+    }
+}
+
+struct RestoreSwap(bool);
+impl Drop for RestoreSwap {
+    fn drop(&mut self) {
+        set_swap_postsolve_entries(self.0);
     }
 }
 
@@ -86,6 +115,10 @@ pub(crate) fn iteration_limit_override() -> Option<usize> {
 
 pub(crate) fn flip_pivot_sign() -> bool {
     FLIP_PIVOT_SIGN.with(Cell::get)
+}
+
+pub(crate) fn swap_postsolve_entries() -> bool {
+    SWAP_POSTSOLVE_ENTRIES.with(Cell::get)
 }
 
 #[cfg(test)]
@@ -105,14 +138,20 @@ mod tests {
         assert!(!flip_pivot_sign());
         with_flipped_pivot_sign(|| assert!(flip_pivot_sign()));
         assert!(!flip_pivot_sign());
+
+        assert!(!swap_postsolve_entries());
+        with_swapped_postsolve_entries(|| assert!(swap_postsolve_entries()));
+        assert!(!swap_postsolve_entries());
     }
 
     #[test]
     fn reset_disarms_everything() {
         set_iteration_limit_override(Some(1));
         set_flip_pivot_sign(true);
+        set_swap_postsolve_entries(true);
         reset();
         assert_eq!(iteration_limit_override(), None);
         assert!(!flip_pivot_sign());
+        assert!(!swap_postsolve_entries());
     }
 }

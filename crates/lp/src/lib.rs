@@ -17,7 +17,12 @@
 //!   (time-limited solves report the residual MIP gap, which is how the
 //!   harness reproduces the paper's "ILP did not converge" entries), and
 //!   dual-simplex warm starts: each child node re-optimizes from its
-//!   parent's basis instead of running two-phase from scratch.
+//!   parent's basis instead of running two-phase from scratch. On top of
+//!   the tree sit a transforming [`presolve`](mod@presolve) with a
+//!   bit-exact [`PostsolveMap`], root cutting planes from the FBB ILP
+//!   structure ([`cuts`]), and pseudocost branching seeded by strong-branch
+//!   probes — all on by default and individually switchable in
+//!   [`MipOptions`].
 //!
 //! # Example
 //!
@@ -52,6 +57,8 @@ compile_error!(
 pub mod approx;
 mod audit;
 mod bnb;
+mod branch;
+pub mod cuts;
 pub mod deadline;
 mod dense;
 mod error;
@@ -59,12 +66,15 @@ mod factor;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 mod model;
+pub mod presolve;
 mod revised;
 mod simplex;
 mod sparse;
 
 pub use audit::{ModelAudit, ModelDefect, Severity, DYNAMIC_RANGE_LIMIT};
 pub use bnb::{solve_mip, MipOptions, MipSolution, MipStatus};
+pub use cuts::{Cut, CutKind, StructureHints};
+pub use presolve::{PostsolveMap, Presolved, PresolveStats};
 pub use dense::{solve_lp_dense, solve_lp_dense_with_bounds};
 pub use error::LpError;
 pub use model::{Model, RowView, Sense, VarKind};

@@ -1,0 +1,70 @@
+//! Pins the §5j audit-once contract: `solve_mip` runs the layer-2 model
+//! audit exactly once per tree, no matter how many warm-started children
+//! the search explores. The audit used to sit on the node path, re-scanning
+//! the identical model at every child — pure overhead, since the model
+//! never changes inside a tree.
+
+use std::sync::Mutex;
+
+use fbb_lp::{solve_mip, MipOptions, Model, Sense};
+
+/// Telemetry is process-global; tests that enable/reset it must not
+/// interleave (same pattern as the fbb-telemetry unit tests).
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// A covering model that genuinely branches: 15 binaries, three ≤ rows,
+/// one ≥ row, fractional LP vertex.
+fn branching_model() -> Model {
+    let mut m = Model::new();
+    let vars: Vec<usize> = (0..15).map(|i| m.add_binary(-1.0 - (i as f64) * 0.3)).collect();
+    for chunk in vars.chunks(5) {
+        let terms = chunk.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(terms, Sense::Le, 2.0).expect("valid row");
+    }
+    let terms = vars.iter().map(|&v| (v, 1.0)).collect();
+    m.add_constraint(terms, Sense::Ge, 3.0).expect("valid row");
+    m
+}
+
+#[test]
+fn audit_runs_once_per_tree() {
+    let _guard = TELEMETRY_LOCK.lock().expect("telemetry lock poisoned");
+    fbb_telemetry::enable();
+    fbb_telemetry::reset();
+
+    let m = branching_model();
+    let s = solve_mip(&m, &MipOptions::default(), None).expect("solve");
+    assert!(s.nodes >= 1, "model must actually enter the tree");
+
+    let snap = fbb_telemetry::snapshot();
+    assert_eq!(
+        snap.counters.get("audit_model_runs").copied(),
+        Some(1),
+        "the model audit must run exactly once per solve_mip call"
+    );
+    // The tree really did explore more than one node, so a per-node audit
+    // would have bumped the counter past 1.
+    let explored = snap.counters.get("bnb_nodes_explored").copied().unwrap_or(0);
+    assert!(explored >= 1, "no nodes recorded");
+
+    fbb_telemetry::disable();
+    fbb_telemetry::reset();
+}
+
+#[test]
+fn audit_runs_once_per_tree_with_presolve_off() {
+    let _guard = TELEMETRY_LOCK.lock().expect("telemetry lock poisoned");
+    fbb_telemetry::enable();
+    fbb_telemetry::reset();
+
+    let m = branching_model();
+    let opts =
+        MipOptions { presolve: false, cuts: false, pseudocost: false, ..MipOptions::default() };
+    solve_mip(&m, &opts, None).expect("solve");
+
+    let snap = fbb_telemetry::snapshot();
+    assert_eq!(snap.counters.get("audit_model_runs").copied(), Some(1));
+
+    fbb_telemetry::disable();
+    fbb_telemetry::reset();
+}

@@ -46,10 +46,14 @@ pub enum Fault {
     /// An LP with duplicated rows and a fixed (zero-width) variable —
     /// primal degeneracy — must still match the dense oracle.
     DegenerateLp,
+    /// A transposed column pair in the presolve→postsolve map (armed via
+    /// the `fault-inject` hooks) must be caught by the cluster oracle: the
+    /// corrupted full-space solution decodes to a wrong assignment.
+    PostsolveMapSwap,
 }
 
 /// All faults, in canonical order.
-const ALL_FAULTS: [Fault; 8] = [
+const ALL_FAULTS: [Fault; 9] = [
     Fault::LpDeadline,
     Fault::LpIterationLimit,
     Fault::MipNodeLimit,
@@ -58,6 +62,7 @@ const ALL_FAULTS: [Fault; 8] = [
     Fault::SingleRowLayout,
     Fault::DuplicatedConstraints,
     Fault::DegenerateLp,
+    Fault::PostsolveMapSwap,
 ];
 
 /// A seeded, deterministic sequence of fault scenarios.
@@ -115,6 +120,7 @@ fn check_fault(fault: Fault, rng: &mut ChaCha8Rng) -> Result<(), String> {
         Fault::SingleRowLayout => single_row_layout(rng),
         Fault::DuplicatedConstraints => duplicated_constraints(rng),
         Fault::DegenerateLp => degenerate_lp(rng),
+        Fault::PostsolveMapSwap => postsolve_map_swap(),
     }
 }
 
@@ -181,7 +187,16 @@ fn knapsack_model() -> Model {
 
 fn mip_node_limit() -> Result<(), String> {
     let model = knapsack_model();
-    let options = MipOptions { node_limit: Some(1), ..MipOptions::default() };
+    // The drill's premise is a fractional *root*: presolve keeps this model
+    // intact, but root cover cuts could legitimately tighten it, so the
+    // reductions are disabled to keep the 1-node budget provably short.
+    let options = MipOptions {
+        node_limit: Some(1),
+        presolve: false,
+        cuts: false,
+        pseudocost: false,
+        ..MipOptions::default()
+    };
     let sol = fbb_lp::solve_mip(&model, &options, None)
         .map_err(|e| format!("node-limited solve hard-errored: {e}"))?;
     if sol.status == MipStatus::Optimal {
@@ -308,6 +323,41 @@ fn degenerate_lp(rng: &mut ChaCha8Rng) -> Result<(), String> {
         rows: vec![row.clone(), row],
     };
     diff::check_lp_instance(&inst)
+}
+
+/// A 2-row × 2-level layout with a single cluster: the only feasible
+/// assignment is both rows at level 1, so the optimal x-block is
+/// `(0, 1, 0, 1)`. Nothing in the model is fixed, redundant, or free, so
+/// presolve keeps every column and the postsolve map's first two surviving
+/// columns are `x[0][0]` and `x[0][1]` — exactly the pair the armed defect
+/// transposes. The corrupted solution decodes row 0 to level 0, which both
+/// changes the leakage and breaks the cluster budget, so the oracle gate in
+/// `check_cluster_instance` must flag it.
+fn postsolve_map_swap() -> Result<(), String> {
+    let pre = Preprocessed {
+        n_rows: 2,
+        levels: 2,
+        beta: 0.05,
+        max_clusters: 1,
+        dcrit_ps: 100.0,
+        row_leakage_nw: vec![vec![1.0, 10.0], vec![1.0, 2.0]],
+        row_criticality: vec![1.0, 1.0],
+        paths: vec![fbb_core::PathConstraint {
+            degraded_delay_ps: 105.0,
+            required_reduction_ps: 5.0,
+            nominal_delay_ps: 100.0,
+            rows: vec![(0, vec![0.0, 10.0]), (1, vec![0.0, 10.0])],
+        }],
+    };
+    // Healthy engines must clear the oracle gate on the fixture...
+    diff::check_cluster_instance(&pre, 0.0)
+        .map_err(|e| format!("clean run failed before arming the defect: {e}"))?;
+    // ...and the armed transposition must be caught by the very same gate.
+    match fbb_lp::fault::with_swapped_postsolve_entries(|| diff::check_cluster_instance(&pre, 0.0))
+    {
+        Err(_) => Ok(()),
+        Ok(()) => Err("transposed postsolve columns slipped past the cluster oracle".into()),
+    }
 }
 
 #[cfg(test)]

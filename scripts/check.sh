@@ -6,12 +6,14 @@
 #   - rustdoc builds warning-free (RUSTDOCFLAGS turns warnings into errors)
 #   - testkit gate: the differential-oracle suites in crates/testkit
 #     (includes the sparse-engine-vs-dense-oracle property suite)
-#   - difftest smoke: a clean sparse-vs-oracle run passes AND an armed
-#     pivot-sign defect is actually caught (guards the harness against
-#     going blind)
+#   - difftest smoke: a clean sparse-vs-oracle run passes AND the armed
+#     planted defects are actually caught (a flipped pivot sign and a
+#     transposed postsolve column pair must both exit 4 — guards the
+#     harness against going blind)
 #   - telemetry smoke: quickstart emits a snapshot that parses as JSON
-#   - lp bench smoke: BENCH_lp.json regenerates and holds the sparse >= 2x
-#     and warm-start iteration-reduction acceptance numbers
+#   - lp bench smoke: BENCH_lp.json regenerates and holds the sparse >= 2x,
+#     warm-start iteration-reduction, and presolve+cuts node-count
+#     reduction (>= 1.3x on the largest shape) acceptance numbers
 #   - lint gate: `fbb lint` clean over the tree AND the planted-violation
 #     fixtures trip exit code 5 (guards the analyzer against going blind)
 #   - model audit smoke: `fbb lint --models` audits the generated ILP for
@@ -45,7 +47,19 @@ if cargo run --release --quiet -- difftest --cases 64 --seed 7 --inject-pivot-bu
     echo "check.sh: difftest FAILED to catch the injected pivot-sign bug" >&2
     exit 1
 fi
-echo "difftest smoke: clean run green, injected defect caught"
+# Same drill for the §5j postsolve defect: a transposed column pair in the
+# presolve→postsolve map must be flagged as a mismatch, exit code 4 exactly
+# (any other failure means the harness died rather than detected).
+set +e
+cargo run --release --quiet -- difftest --cases 64 --seed 7 --inject-postsolve-bug \
+    > /dev/null 2>&1
+postsolve_code=$?
+set -e
+if [ "$postsolve_code" -ne 4 ]; then
+    echo "check.sh: armed postsolve-swap run exited $postsolve_code, expected 4" >&2
+    exit 1
+fi
+echo "difftest smoke: clean run green, injected defects caught (pivot + postsolve)"
 
 # Lint gate: the tree must be clean (exit 0)…
 cargo run --release --quiet -- lint
@@ -88,7 +102,9 @@ EOF
 
 # LP solver bench smoke: regenerate BENCH_lp.json and hold the acceptance
 # numbers — sparse >= 2x dense on the largest model, warm starts cutting
-# per-node simplex iterations below cold two-phase solves.
+# per-node simplex iterations below cold two-phase solves, and the §5j
+# presolve+cuts tree at least 1.3x smaller than the raw tree on the
+# largest clustered shape.
 cargo bench -p fbb-bench --bench lp_solver > /dev/null
 python3 - BENCH_lp.json <<'EOF'
 import json, sys
@@ -98,7 +114,10 @@ speedup = snap["lp_sparse_speedup_large"]
 assert speedup >= 2.0, f"sparse speedup {speedup} below the 2x floor"
 reduction = snap["bnb_warm_iter_reduction"]
 assert reduction > 1.0, f"warm starts do not reduce per-node iterations ({reduction})"
-print(f"lp bench smoke: sparse {speedup:.2f}x on large, warm iter reduction {reduction:.2f}x")
+nodes = snap["bnb_node_reduction_large"]
+assert nodes >= 1.3, f"presolve+cuts node reduction {nodes} below the 1.3x floor"
+print(f"lp bench smoke: sparse {speedup:.2f}x on large, warm iter reduction "
+      f"{reduction:.2f}x, node reduction {nodes:.1f}x")
 EOF
 # Design-database lane: compile-once -> solve round trip on two Table 1
 # designs, golden-fixture byte comparison, and corrupt-input smoke.

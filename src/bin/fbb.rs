@@ -259,10 +259,12 @@ fn run() -> Result<(), CliError> {
 /// `fbb difftest` — run the cross-engine differential harness.
 ///
 /// Per-layer mismatch totals land in telemetry (`difftest_*`); any mismatch
-/// exits with code 4. The hidden `--inject-pivot-bug` flag arms the
-/// `fault-inject` planted defect for the duration of the run — it exists so
-/// scripts (and `scripts/check.sh`) can prove the harness detects a real
-/// solver bug, and it must therefore *fail*.
+/// exits with code 4. The hidden `--inject-pivot-bug` and
+/// `--inject-postsolve-bug` flags arm the `fault-inject` planted defects
+/// (a flipped simplex pivot sign, a transposed postsolve column pair) for
+/// the duration of the run — they exist so scripts (and `scripts/check.sh`)
+/// can prove the harness detects a real solver bug, and an armed run must
+/// therefore *fail*.
 fn difftest(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = arg_value(args, "--db") {
         return difftest_db(&path, args);
@@ -281,6 +283,9 @@ fn difftest(args: &[String]) -> Result<(), CliError> {
     let report = if arg_flag(args, "--inject-pivot-bug") {
         eprintln!("warning: pivot-sign defect armed; this run must report mismatches");
         fbb::lp::fault::with_flipped_pivot_sign(|| runner.run())
+    } else if arg_flag(args, "--inject-postsolve-bug") {
+        eprintln!("warning: postsolve-swap defect armed; this run must report mismatches");
+        fbb::lp::fault::with_swapped_postsolve_entries(|| runner.run())
     } else {
         runner.run()
     };
