@@ -145,5 +145,73 @@ fn bench_speedups(_c: &mut Criterion) {
     println!("snapshot merged into {}", path.display());
 }
 
-criterion_group!(benches, bench_sta, bench_speedups);
+/// Same full-vs-incremental comparison on the largest composed design the
+/// sweep bench uses, so `BENCH_sta.json` records how the engine holds up at
+/// the scaled workload axis (200k+ gates vs the 748-gate Table 1 row).
+fn bench_composed(_c: &mut Criterion) {
+    let composed = fbb_netlist::compose("soc200k", &fbb_netlist::ComposeOptions::with_target(200_000))
+        .expect("palette composes");
+    let nl = &composed.netlist;
+    let library = Library::date09_45nm();
+    let placement = fbb_placement::tile(nl, &library, 64).expect("composed design tiles");
+    let chara = library.characterize(
+        &BodyBiasModel::date09_45nm(),
+        &BiasLadder::date09().expect("valid ladder"),
+    );
+    let graph = TimingGraph::new(nl).expect("acyclic");
+    let nominal: Vec<f64> = nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0)).collect();
+    let biased: Vec<f64> = nl.gates().iter().map(|g| chara.delay_ps(g.cell, 3)).collect();
+
+    let row_of: Vec<usize> = (0..nl.gate_count())
+        .map(|i| placement.row_of(GateId::from_index(i)).index())
+        .collect();
+    let flip_row = row_of[nl.gate_count() / 2];
+    let flip_gates: Vec<usize> =
+        (0..nl.gate_count()).filter(|&i| row_of[i] == flip_row).collect();
+
+    let mut full_delays = nominal.clone();
+    let mut level = 0usize;
+    let full = measure(5, 3, || {
+        level ^= 1;
+        for &i in &flip_gates {
+            full_delays[i] = if level == 1 { biased[i] } else { nominal[i] };
+        }
+        black_box(graph.analyze(&full_delays).dcrit_ps());
+    });
+
+    let mut inc = IncrementalSta::with_rows(&graph, &nominal, RowMap::new(&row_of));
+    let mut level = 0usize;
+    let incremental = measure(5, 3, || {
+        level ^= 1;
+        for &i in &flip_gates {
+            let d = if level == 1 { biased[i] } else { nominal[i] };
+            inc.delays_mut()[i] = d;
+        }
+        inc.invalidate_rows(&[flip_row]);
+        black_box(inc.retime());
+    });
+    let inc_speedup = incremental.speedup_over(&full);
+    println!(
+        "single-row bias flip on composed design ({} gates, {} blocks, row {} = {} gates):",
+        nl.gate_count(),
+        composed.blocks.len(),
+        flip_row,
+        flip_gates.len()
+    );
+    println!("  full analyze        {:>12.0} ns/flip", full.median_ns);
+    println!("  incremental retime  {:>12.0} ns/flip", incremental.median_ns);
+    println!("  incremental speedup {inc_speedup:>12.2}x");
+
+    let path = workspace_file("BENCH_sta.json");
+    let mut report = BenchReport::load(&path);
+    report.set("sta_composed_gate_count", nl.gate_count() as f64);
+    report.set("sta_composed_blocks", composed.blocks.len() as f64);
+    report.set("sta_composed_full_analyze_ns", full.median_ns);
+    report.set("sta_composed_incremental_retime_ns", incremental.median_ns);
+    report.set("sta_composed_incremental_speedup", inc_speedup);
+    report.save(&path).expect("snapshot writable");
+    println!("snapshot merged into {}", path.display());
+}
+
+criterion_group!(benches, bench_sta, bench_speedups, bench_composed);
 criterion_main!(benches);

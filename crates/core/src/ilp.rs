@@ -326,7 +326,7 @@ impl IlpAllocator {
 }
 
 /// Flattens an assignment into the model's variable vector (x then y).
-fn encode(pre: &Preprocessed, assignment: &[usize]) -> Vec<f64> {
+pub(crate) fn encode(pre: &Preprocessed, assignment: &[usize]) -> Vec<f64> {
     let n = pre.n_rows;
     let p = pre.levels;
     let mut x = vec![0.0; n * p + p];
@@ -343,7 +343,7 @@ fn encode(pre: &Preprocessed, assignment: &[usize]) -> Vec<f64> {
 }
 
 /// Reads the row assignment back out of a MIP point.
-fn decode(pre: &Preprocessed, x: &[f64]) -> Vec<usize> {
+pub(crate) fn decode(pre: &Preprocessed, x: &[f64]) -> Vec<usize> {
     let p = pre.levels;
     (0..pre.n_rows)
         .map(|i| {

@@ -59,6 +59,7 @@ mod heuristic;
 mod ilp;
 mod problem;
 mod solution;
+pub mod sweep;
 pub mod tuning;
 
 pub use baseline::single_bb;
@@ -68,3 +69,4 @@ pub use heuristic::{pass_one, pass_one_restricted, DescentPolicy, TwoPassHeurist
 pub use ilp::{IlpAllocator, IlpOutcome};
 pub use problem::{FbbProblem, Granularity, PathConstraint, Preprocessed};
 pub use solution::ClusterSolution;
+pub use sweep::{run_sweep, SweepCell, SweepGrid, SweepOptions, SweepReport, SweepStatus};

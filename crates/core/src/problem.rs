@@ -305,6 +305,41 @@ impl Preprocessed {
         self.paths.len()
     }
 
+    /// A copy of this problem truncated to the first `levels` bias levels.
+    ///
+    /// Level `j`'s leakage and delay-reduction entries do not depend on how
+    /// many higher levels the characterization carries, so truncating a
+    /// full-resolution pre-process is *identical* to pre-processing with a
+    /// `levels`-deep characterization — this is what defines the P axis of
+    /// a grid sweep, for warm cells (shared pre-process, truncated per P)
+    /// and cold cells (fresh pre-process, truncated the same way) alike.
+    /// Criticality coefficients and `dcrit` are level-independent and pass
+    /// through unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FbbError::InvalidProblem`] if `levels` is zero or exceeds
+    /// the levels present.
+    pub fn restrict_levels(&self, levels: usize) -> Result<Preprocessed, FbbError> {
+        if levels == 0 || levels > self.levels {
+            return Err(FbbError::InvalidProblem(format!(
+                "cannot restrict a {}-level problem to {levels} levels",
+                self.levels
+            )));
+        }
+        let mut out = self.clone();
+        out.levels = levels;
+        for leak in &mut out.row_leakage_nw {
+            leak.truncate(levels);
+        }
+        for path in &mut out.paths {
+            for (_, reds) in &mut path.rows {
+                reds.truncate(levels);
+            }
+        }
+        Ok(out)
+    }
+
     /// Checks the internal consistency of a `Preprocessed` instance that
     /// did not come out of [`FbbProblem::preprocess`] — e.g. one decoded
     /// from a persisted design database — so that corrupted tables error

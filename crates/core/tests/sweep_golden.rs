@@ -1,0 +1,168 @@
+//! The sweep orchestrator's external contract, pinned from outside the
+//! crate: warm grid sweeps are `f64::to_bits`-identical to cold per-cell
+//! solves on arbitrary designs and grids — including cells that expire
+//! their budget — and a fixed reference grid's objectives never drift.
+
+use std::time::Duration;
+
+use fbb_core::{run_sweep, SweepCell, SweepGrid, SweepOptions, SweepStatus};
+use fbb_device::{BiasLadder, BodyBiasModel, Characterization, Library};
+use fbb_netlist::generators::{self, random_logic, RandomLogicOptions};
+use fbb_netlist::Netlist;
+use fbb_placement::{Placement, Placer, PlacerOptions};
+use proptest::prelude::*;
+
+fn reference_design() -> (Netlist, Placement, Characterization) {
+    let netlist = generators::ripple_adder("a24", 24, false).expect("valid generator");
+    let library = Library::date09_45nm();
+    let placement = Placer::new(PlacerOptions::with_target_rows(6))
+        .place(&netlist, &library)
+        .expect("placeable");
+    let chara = library.characterize(
+        &BodyBiasModel::date09_45nm(),
+        &BiasLadder::date09().expect("valid ladder"),
+    );
+    (netlist, placement, chara)
+}
+
+fn cells(
+    design: &(Netlist, Placement, Characterization),
+    grid: &SweepGrid,
+    options: &SweepOptions,
+) -> Vec<SweepCell> {
+    let mut out = Vec::new();
+    run_sweep(&design.0, &design.1, &design.2, grid, options, |c| out.push(c.clone()))
+        .expect("sweep over a valid design succeeds");
+    out
+}
+
+fn assert_bit_identical(warm: &[SweepCell], cold: &[SweepCell]) {
+    assert_eq!(warm.len(), cold.len());
+    for (w, c) in warm.iter().zip(cold) {
+        let at = (w.beta, w.clusters, w.levels);
+        assert_eq!((c.beta, c.clusters, c.levels), at, "cell order diverged");
+        assert_eq!(w.status, c.status, "status at {at:?}");
+        assert_eq!(
+            w.leakage_nw.to_bits(),
+            c.leakage_nw.to_bits(),
+            "objective bits at {at:?}: warm {} vs cold {}",
+            w.leakage_nw,
+            c.leakage_nw
+        );
+        assert_eq!(w.assignment, c.assignment, "assignment at {at:?}");
+    }
+}
+
+/// Reference grid on the 6-row a24 adder: all eight cells are optimal and
+/// their objectives are pinned to the bit. Any solver, preprocessing, or
+/// model-layout change that moves these shows up here first.
+#[test]
+fn golden_reference_grid_bits() {
+    let design = reference_design();
+    let grid = SweepGrid { betas: vec![0.03, 0.05], clusters: vec![2, 3], levels: vec![6, 11] };
+    let got = cells(&design, &grid, &SweepOptions::default());
+    // (β, C, P, leakage bits) in sweep order: β outer, P middle, C descending.
+    let expected: [(f64, usize, usize, u64); 8] = [
+        (0.03, 3, 6, 0x4045f6d406014729),
+        (0.03, 2, 6, 0x404652c8a9740b4a),
+        (0.03, 3, 11, 0x4045f6d406014729),
+        (0.03, 2, 11, 0x40463cebd8650b3c),
+        (0.05, 3, 6, 0x404bc07534465d69),
+        (0.05, 2, 6, 0x404c2166ac5c59e3),
+        (0.05, 3, 11, 0x404b60dfc753778c),
+        (0.05, 2, 11, 0x404b93591f858dca),
+    ];
+    assert_eq!(got.len(), expected.len());
+    for (cell, &(beta, c, p, bits)) in got.iter().zip(&expected) {
+        assert_eq!((cell.beta, cell.clusters, cell.levels), (beta, c, p));
+        assert_eq!(cell.status, SweepStatus::Optimal);
+        assert_eq!(
+            cell.leakage_nw.to_bits(),
+            bits,
+            "objective drifted at β={beta} C={c} P={p}: got {:?} (0x{:016x})",
+            cell.leakage_nw,
+            cell.leakage_nw.to_bits()
+        );
+        assert!(cell.assignment.is_some());
+    }
+}
+
+/// A zero wall-clock budget expires before the branch & bound explores
+/// anything, which is the one *deterministic* point of the time-limit axis:
+/// every cell lands on the heuristic incumbent (or proves nothing), so warm
+/// and cold must still agree bit-for-bit — including the 0.0-normalized
+/// objectives of cells with no integer point.
+#[test]
+fn budget_expired_cells_stay_bit_identical() {
+    let design = reference_design();
+    let grid = SweepGrid { betas: vec![0.03, 0.08], clusters: vec![1, 3], levels: vec![2, 11] };
+    let options = SweepOptions { time_limit: Some(Duration::ZERO), ..Default::default() };
+    let warm = cells(&design, &grid, &options);
+    let cold = cells(&design, &grid, &SweepOptions { cold: true, ..options });
+    assert_bit_identical(&warm, &cold);
+    assert!(
+        warm.iter().any(|c| c.status != SweepStatus::Optimal),
+        "a zero budget must leave at least one cell unproven"
+    );
+    for c in &warm {
+        if matches!(c.status, SweepStatus::Infeasible | SweepStatus::Unknown) {
+            assert_eq!(c.leakage_nw.to_bits(), 0.0f64.to_bits());
+            assert!(c.assignment.is_none());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Warm ≡ cold on random designs and random grids, statuses included.
+    #[test]
+    fn warm_equals_cold_on_random_designs(
+        seed in 0u64..500,
+        gates in 100usize..200,
+        beta_hi in 0usize..2,
+        cluster_set in 0usize..5,
+        level_set in 0usize..5,
+    ) {
+        // Small fixed sub-grids instead of arbitrary subsets — the shimmed
+        // proptest has no subsequence strategy, and these cover the single-
+        // and two-point C/P axes the orchestrator treats differently.
+        const CLUSTER_SETS: [&[usize]; 5] = [&[1], &[2], &[3], &[1, 3], &[2, 3]];
+        const LEVEL_SETS: [&[usize]; 5] = [&[2], &[6], &[11], &[2, 11], &[6, 11]];
+        let clusters = CLUSTER_SETS[cluster_set].to_vec();
+        let levels = LEVEL_SETS[level_set].to_vec();
+        let nl = random_logic(
+            "p",
+            &RandomLogicOptions {
+                target_gates: gates,
+                n_inputs: 12,
+                seed,
+                registered: false,
+                locality_window: 24,
+            },
+        )
+        .expect("valid generator");
+        let library = Library::date09_45nm();
+        let placement = Placer::new(PlacerOptions {
+            target_rows: Some(5),
+            anneal_moves: 500,
+            ..PlacerOptions::default()
+        })
+        .place(&nl, &library)
+        .expect("placeable");
+        let chara = library.characterize(
+            &BodyBiasModel::date09_45nm(),
+            &BiasLadder::date09().expect("valid ladder"),
+        );
+        let design = (nl, placement, chara);
+        let grid = SweepGrid {
+            betas: if beta_hi == 1 { vec![0.05] } else { vec![0.03] },
+            clusters,
+            levels,
+        };
+        let warm = cells(&design, &grid, &SweepOptions::default());
+        let cold = cells(&design, &grid, &SweepOptions { cold: true, ..Default::default() });
+        prop_assert_eq!(warm.len(), grid.cell_count());
+        assert_bit_identical(&warm, &cold);
+    }
+}

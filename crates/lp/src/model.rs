@@ -158,6 +158,32 @@ impl Model {
         Ok(self.constraints.len() - 1)
     }
 
+    /// Replaces the right-hand side of constraint row `row` in place.
+    ///
+    /// This is the grid-sweep patch point: the FBB budget row `Σy ≤ C` is
+    /// the only part of the ILP that depends on the cluster budget, so a
+    /// sweep over C re-uses one built model and patches this single scalar.
+    /// A patched model compares equal (`PartialEq`) to one built fresh at
+    /// the new RHS, which is what keeps warm sweep cells bit-identical to
+    /// cold ones.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::UnknownVariable`] (carrying the row index) when `row` is
+    /// out of range; [`LpError::NonFiniteData`] for a non-finite `rhs`.
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) -> Result<(), LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NonFiniteData(format!("rhs {rhs} for row {row}")));
+        }
+        match self.constraints.get_mut(row) {
+            Some(c) => {
+                c.rhs = rhs;
+                Ok(())
+            }
+            None => Err(LpError::UnknownVariable(row)),
+        }
+    }
+
     /// Read-only view of constraint row `i`, or `None` out of range. Model
     /// generators use this (and [`Model::rows`]) to audit the structure of
     /// what they emitted — e.g. the FBB allocator checking its one-hot rows.
@@ -268,6 +294,25 @@ mod tests {
         let x = m.add_continuous(0.0, 1.0, 1.0);
         m.add_constraint(vec![(x, 1.0), (x, 2.0)], Sense::Le, 3.0).unwrap();
         assert_eq!(m.constraints[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn set_rhs_patches_one_row_and_matches_a_fresh_build() {
+        let build = |budget: f64| {
+            let mut m = Model::new();
+            let x = m.add_binary(1.0);
+            let y = m.add_binary(2.0);
+            m.add_constraint(vec![(x, 1.0)], Sense::Ge, 1.0).unwrap();
+            m.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, budget).unwrap();
+            m
+        };
+        let mut patched = build(2.0);
+        patched.set_rhs(1, 1.0).unwrap();
+        assert_eq!(patched, build(1.0));
+        assert_eq!(patched.row(0).unwrap().rhs, 1.0, "other rows untouched");
+
+        assert!(matches!(patched.set_rhs(9, 1.0), Err(LpError::UnknownVariable(9))));
+        assert!(matches!(patched.set_rhs(1, f64::NAN), Err(LpError::NonFiniteData(_))));
     }
 
     #[test]

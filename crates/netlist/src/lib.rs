@@ -39,6 +39,7 @@
 
 pub mod bench_fmt;
 mod builder;
+pub mod compose;
 mod error;
 pub mod fmt;
 pub mod generators;
@@ -48,6 +49,7 @@ pub mod sim;
 pub mod suite;
 
 pub use builder::NetlistBuilder;
-pub use merge::merge;
+pub use compose::{compose, BlockSpan, ComposeOptions, ComposedDesign};
+pub use merge::{merge, merge_named, uniquify_names};
 pub use error::NetlistError;
 pub use netlist::{Gate, GateId, Net, NetId, Netlist};

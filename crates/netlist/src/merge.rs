@@ -21,12 +21,56 @@ use crate::{Gate, GateId, Net, NetId, Netlist};
 /// block.validate().expect("merge preserves invariants");
 /// ```
 pub fn merge(name: &str, parts: &[Netlist]) -> Netlist {
+    let labels: Vec<String> = (0..parts.len()).map(|k| format!("u{k}")).collect();
+    let named: Vec<(&str, &Netlist)> =
+        labels.iter().map(String::as_str).zip(parts.iter()).collect();
+    merge_named(name, &named)
+}
+
+/// Deterministically uniquifies a list of instance names: the first
+/// occurrence of a name keeps it, later occurrences get the smallest
+/// `{name}_{k}` (k ≥ 2) suffix not already taken. The result depends only
+/// on the input sequence, never on iteration order.
+///
+/// This is what lets the hierarchical composer tile the *same* suite block
+/// many times without its net names silently colliding — `merge_named`
+/// applies it to every part list, and callers that pre-uniquify (so the
+/// names survive nested merges unchanged) see it as a no-op.
+pub fn uniquify_names(names: &[&str]) -> Vec<String> {
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    names
+        .iter()
+        .map(|&name| {
+            let mut candidate = name.to_owned();
+            let mut k = 2usize;
+            while !used.insert(candidate.clone()) {
+                candidate = format!("{name}_{k}");
+                k += 1;
+            }
+            candidate
+        })
+        .collect()
+}
+
+/// [`merge`] with caller-chosen instance names: net names are prefixed
+/// `{instance}_` instead of `u{k}_`.
+///
+/// Duplicate instance names — the normal case when the same suite block is
+/// tiled several times — are **deterministically uniquified** via
+/// [`uniquify_names`] rather than silently colliding: the second `"alu"`
+/// becomes `"alu_2"`, the third `"alu_3"`, and so on. The gate/net tables
+/// are byte-identical to what [`merge`] of the same parts produces; only
+/// the net-name prefixes differ.
+pub fn merge_named(name: &str, parts: &[(&str, &Netlist)]) -> Netlist {
+    let raw: Vec<&str> = parts.iter().map(|&(n, _)| n).collect();
+    let instances = uniquify_names(&raw);
+
     let mut gates: Vec<Gate> = Vec::new();
     let mut nets: Vec<Net> = Vec::new();
     let mut inputs: Vec<NetId> = Vec::new();
     let mut outputs: Vec<NetId> = Vec::new();
 
-    for (k, part) in parts.iter().enumerate() {
+    for (instance, &(_, part)) in instances.iter().zip(parts.iter()) {
         let gate_off = gates.len();
         let net_off = nets.len();
         let remap_gate = |g: GateId| GateId::from_index(g.index() + gate_off);
@@ -41,7 +85,7 @@ pub fn merge(name: &str, parts: &[Netlist]) -> Netlist {
         }
         for net in part.nets() {
             nets.push(Net {
-                name: format!("u{k}_{}", net.name),
+                name: format!("{instance}_{}", net.name),
                 driver: net.driver.map(remap_gate),
                 sinks: net.sinks.iter().map(|&g| remap_gate(g)).collect(),
             });
@@ -94,5 +138,49 @@ mod tests {
         let m = merge("empty", &[]);
         assert_eq!(m.gate_count(), 0);
         m.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_part_names_are_deterministically_uniquified() {
+        // Tiling the same block twice under the same name must NOT collide:
+        // the second "alu" becomes "alu_2", and every net name stays unique.
+        let a = generators::alu("alu", 4).unwrap();
+        let m = merge_named("pair", &[("alu", &a), ("alu", &a), ("alu", &a)]);
+        m.validate().unwrap();
+        let mut names: Vec<&str> = m.nets().iter().map(|n| n.name.as_str()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "uniquified merge left colliding net names");
+        assert!(m.nets().iter().any(|n| n.name.starts_with("alu_") && !n.name.starts_with("alu_2")));
+        assert!(m.nets().iter().any(|n| n.name.starts_with("alu_2_")));
+        assert!(m.nets().iter().any(|n| n.name.starts_with("alu_3_")));
+    }
+
+    #[test]
+    fn uniquify_is_deterministic_and_collision_free() {
+        let got = uniquify_names(&["mul", "alu", "alu", "mul", "alu_2"]);
+        // "alu_2" is taken by the uniquified second "alu", so the literal
+        // "alu_2" part is pushed to the next free suffix.
+        assert_eq!(got, vec!["mul", "alu", "alu_2", "mul_2", "alu_2_2"]);
+        assert_eq!(got, uniquify_names(&["mul", "alu", "alu", "mul", "alu_2"]));
+    }
+
+    #[test]
+    fn merge_named_tables_match_index_based_merge() {
+        // Only net-name prefixes differ between the two entry points; the
+        // gate/net id tables are byte-identical, which is what lets the
+        // hierarchical composer regroup parts freely.
+        let a = generators::ripple_adder("x", 4, false).unwrap();
+        let b = generators::alu("y", 4).unwrap();
+        let by_index = merge("m", &[a.clone(), b.clone()]);
+        let by_name = merge_named("m", &[("adder", &a), ("alu", &b)]);
+        assert_eq!(by_index.gates, by_name.gates);
+        assert_eq!(by_index.inputs, by_name.inputs);
+        assert_eq!(by_index.outputs, by_name.outputs);
+        for (i, j) in by_index.nets.iter().zip(by_name.nets.iter()) {
+            assert_eq!(i.driver, j.driver);
+            assert_eq!(i.sinks, j.sinks);
+        }
     }
 }

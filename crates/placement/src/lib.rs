@@ -38,8 +38,10 @@ mod geometry;
 pub mod layout;
 mod placement;
 mod placer;
+mod tile;
 
 pub use error::PlacementError;
 pub use geometry::{Die, RowId};
 pub use placement::{PlacedGate, Placement, Row};
 pub use placer::{PlacementOrder, Placer, PlacerOptions};
+pub use tile::tile;

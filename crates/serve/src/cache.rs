@@ -7,10 +7,13 @@
 //! [`DesignDb`]. Entries are shared out as `Arc`s: a solve holds its design
 //! alive even if the entry is evicted mid-flight.
 //!
-//! Eviction is insertion-order FIFO, bounded by the `--cache-designs`
-//! capacity the operator picked at startup. FIFO (rather than LRU) keeps
-//! the lock hold time O(1) per hit; the expected workload — a handful of
-//! designs, each hammered with solve requests — never comes near the bound.
+//! Eviction is least-recently-used, bounded by the `--cache-designs`
+//! capacity the operator picked at startup: a hit moves its design to the
+//! back of the recency queue, so a design that keeps serving solves
+//! survives even when bulk traffic (a sweep loading many one-shot designs)
+//! churns through the rest of the capacity. The recency bump is a linear
+//! scan of the queue — at the tens-of-designs capacities this daemon runs
+//! with, that stays well under the decode cost a wrong eviction causes.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -45,6 +48,16 @@ struct Inner {
     evictions: u64,
 }
 
+impl Inner {
+    /// Moves `hash` to the most-recently-used end of the recency queue.
+    fn touch(&mut self, hash: u64) {
+        if let Some(pos) = self.order.iter().position(|&h| h == hash) {
+            self.order.remove(pos);
+            self.order.push_back(hash);
+        }
+    }
+}
+
 impl DesignCache {
     /// Creates a cache holding at most `capacity` designs (minimum 1).
     #[must_use]
@@ -53,12 +66,14 @@ impl DesignCache {
     }
 
     /// Looks up a design, recording a hit or miss (both locally and as
-    /// `serve_cache_hits` / `serve_cache_misses` telemetry).
+    /// `serve_cache_hits` / `serve_cache_misses` telemetry). A hit marks
+    /// the design most-recently-used.
     pub fn get(&self, hash: u64) -> Option<Arc<DesignDb>> {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         match inner.map.get(&hash).cloned() {
             Some(db) => {
                 inner.hits += 1;
+                inner.touch(hash);
                 fbb_telemetry::counter("serve_cache_hits", 1);
                 Some(db)
             }
@@ -72,16 +87,17 @@ impl DesignCache {
 
     /// Inserts a decoded design under `hash`. Returns `true` if the design
     /// was new, `false` if it was already cached (the existing entry is
-    /// kept — same hash means same bytes). Evicts the oldest entry when
-    /// full.
+    /// kept — same hash means same bytes — but still counts as a touch).
+    /// Evicts the least-recently-used entry when full.
     pub fn insert(&self, hash: u64, db: Arc<DesignDb>) -> bool {
         let mut inner = self.inner.lock().expect("cache lock poisoned");
         if inner.map.contains_key(&hash) {
+            inner.touch(hash);
             return false;
         }
         if inner.map.len() >= self.capacity {
-            if let Some(oldest) = inner.order.pop_front() {
-                inner.map.remove(&oldest);
+            if let Some(coldest) = inner.order.pop_front() {
+                inner.map.remove(&coldest);
                 inner.evictions += 1;
                 fbb_telemetry::counter("serve_cache_evictions", 1);
             }
@@ -137,17 +153,19 @@ mod tests {
     }
 
     #[test]
-    fn hit_miss_and_fifo_eviction() {
+    fn hit_miss_and_lru_eviction() {
         let cache = DesignCache::new(2);
         let db = tiny_db();
         assert!(cache.get(1).is_none());
         assert!(cache.insert(1, db.clone()));
         assert!(!cache.insert(1, db.clone()), "re-insert is a no-op");
-        assert!(cache.get(1).is_some());
         assert!(cache.insert(2, db.clone()));
-        assert!(cache.insert(3, db.clone()), "third insert evicts hash 1");
-        assert!(cache.get(1).is_none(), "oldest entry evicted");
-        assert!(cache.get(2).is_some());
+        // Touch design 1: under FIFO it would be next out; under LRU the
+        // re-touched design survives and 2 is evicted instead.
+        assert!(cache.get(1).is_some());
+        assert!(cache.insert(3, db.clone()), "third insert evicts the LRU entry");
+        assert!(cache.get(1).is_some(), "re-touched design survived eviction");
+        assert!(cache.get(2).is_none(), "least-recently-used entry evicted");
         assert!(cache.get(3).is_some());
         let stats = cache.stats();
         assert_eq!(stats.designs, 2);
@@ -155,6 +173,19 @@ mod tests {
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.evictions, 1);
     }
+
+    #[test]
+    fn duplicate_insert_counts_as_a_touch() {
+        let cache = DesignCache::new(2);
+        let db = tiny_db();
+        assert!(cache.insert(1, db.clone()));
+        assert!(cache.insert(2, db.clone()));
+        assert!(!cache.insert(1, db.clone()), "duplicate insert keeps the entry");
+        assert!(cache.insert(3, db.clone()));
+        assert!(cache.get(1).is_some(), "duplicate insert refreshed recency");
+        assert!(cache.get(2).is_none());
+    }
+
 
     #[test]
     fn zero_capacity_clamps_to_one() {

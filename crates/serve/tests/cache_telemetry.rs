@@ -1,0 +1,47 @@
+//! The `serve_cache_*` telemetry contract: every cache path ticks its
+//! counter. Lives in its own test process because the counters are global —
+//! running this alongside the lib's cache unit tests would cross-pollute.
+
+use std::sync::Arc;
+
+use fbb_core::Granularity;
+use fbb_db::DesignDb;
+use fbb_device::{BiasLadder, BodyBiasModel, CellKind, DriveStrength, Library};
+use fbb_netlist::NetlistBuilder;
+use fbb_placement::{Placer, PlacerOptions};
+use fbb_serve::DesignCache;
+
+fn tiny_db() -> Arc<DesignDb> {
+    let mut b = NetlistBuilder::new("cache-telemetry");
+    let a = b.input("a");
+    let x = b.gate(CellKind::Inv, DriveStrength::X1, &[a]).expect("arity");
+    let y = b.gate(CellKind::Inv, DriveStrength::X1, &[x]).expect("arity");
+    b.output(y, "y");
+    let nl = b.finish().expect("valid netlist");
+    let library = Library::date09_45nm();
+    let placement = Placer::new(PlacerOptions::default()).place(&nl, &library).expect("placeable");
+    let chara = library
+        .characterize(&BodyBiasModel::date09_45nm(), &BiasLadder::date09().expect("ladder"));
+    Arc::new(
+        DesignDb::build("test", &nl, &placement, &chara, &[0.05], &[Granularity::Row], 3)
+            .expect("tiny design compiles"),
+    )
+}
+
+#[test]
+fn lru_cache_traffic_ticks_serve_counters() {
+    fbb_telemetry::enable();
+    fbb_telemetry::reset();
+    let cache = DesignCache::new(1);
+    let db = tiny_db();
+    assert!(cache.get(7).is_none()); // miss
+    assert!(cache.insert(7, db.clone())); // load
+    assert!(cache.get(7).is_some()); // hit (and LRU touch)
+    assert!(cache.insert(8, db)); // load + eviction of 7
+    let snap = fbb_telemetry::snapshot();
+    fbb_telemetry::disable();
+    assert_eq!(snap.counter("serve_cache_misses"), Some(1));
+    assert_eq!(snap.counter("serve_cache_hits"), Some(1));
+    assert_eq!(snap.counter("serve_cache_loads"), Some(2));
+    assert_eq!(snap.counter("serve_cache_evictions"), Some(1));
+}

@@ -1,0 +1,68 @@
+//! Hierarchical composition is invisible to timing: analyzing a design
+//! composed with any merge group size is `f64::to_bits`-identical to
+//! analyzing the flat merge of the same leaves.
+//!
+//! This is the property that lets the sweep layer compose 100k-gate designs
+//! hierarchically (cheap, parallel-friendly merges) while every timing
+//! result stays exactly what the flat reference produces: `merge` offsets
+//! gate/net ids without reordering, so grouping only changes net *names*,
+//! which STA never reads.
+
+use fbb_device::{BiasLadder, BodyBiasModel, Library};
+use fbb_netlist::{compose, ComposeOptions};
+use fbb_sta::TimingGraph;
+use proptest::prelude::*;
+
+/// Per-gate nominal delays from the library characterization (level 0).
+fn library_delays(nl: &fbb_netlist::Netlist) -> Vec<f64> {
+    let library = Library::date09_45nm();
+    let chara = library
+        .characterize(&BodyBiasModel::date09_45nm(), &BiasLadder::date09().expect("ladder"));
+    nl.gates().iter().map(|g| chara.delay_ps(g.cell, 0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn hierarchical_sta_bit_identical_to_flat(
+        target in 2_000usize..8_000,
+        group in 2usize..12,
+    ) {
+        let opts = ComposeOptions { group_size: group, ..ComposeOptions::with_target(target) };
+        let hier = compose("soc", &opts).unwrap();
+        let flat = compose("soc", &opts.clone().flat()).unwrap();
+
+        let delays = library_delays(&hier.netlist);
+        let hg = TimingGraph::new(&hier.netlist).unwrap();
+        let fg = TimingGraph::new(&flat.netlist).unwrap();
+        let h = hg.analyze(&delays);
+        let f = fg.analyze(&delays);
+
+        prop_assert_eq!(h.dcrit_ps().to_bits(), f.dcrit_ps().to_bits());
+        for i in 0..hier.netlist.gate_count() {
+            let g = fbb_netlist::GateId::from_index(i);
+            prop_assert_eq!(h.arrival_ps(g).to_bits(), f.arrival_ps(g).to_bits());
+            prop_assert_eq!(h.tail_ps(g).to_bits(), f.tail_ps(g).to_bits());
+        }
+    }
+}
+
+/// Golden pin for the default 50k-gate composition: gate count and critical
+/// delay under library delays. Any change to the palette, tiling order,
+/// stitching, or generators shows up here first.
+#[test]
+fn golden_50k_composition() {
+    let d = compose("soc50k", &ComposeOptions::with_target(50_000)).unwrap();
+    assert_eq!(d.netlist.gate_count(), 50_161);
+    assert_eq!(d.blocks.len(), 134);
+    let delays = library_delays(&d.netlist);
+    let graph = TimingGraph::new(&d.netlist).unwrap();
+    let timing = graph.analyze(&delays);
+    assert_eq!(
+        timing.dcrit_ps().to_bits(),
+        f64::to_bits(1240.3999999999996),
+        "critical delay drifted: got {:?}",
+        timing.dcrit_ps()
+    );
+}

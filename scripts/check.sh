@@ -14,6 +14,10 @@
 #   - lp bench smoke: BENCH_lp.json regenerates and holds the sparse >= 2x,
 #     warm-start iteration-reduction, and presolve+cuts node-count
 #     reduction (>= 1.3x on the largest shape) acceptance numbers
+#   - sweep lane: BENCH_sweep.json regenerates on a composed >=50k-gate
+#     design and holds the warm-pipeline acceptance numbers (>= 2x over
+#     cold per-cell solves, bit-identical cells), plus an `fbb sweep`
+#     CLI smoke on a composed design with a JSON report round trip
 #   - lint gate: `fbb lint` clean over the tree AND the planted-violation
 #     fixtures trip exit code 5 (guards the analyzer against going blind)
 #   - model audit smoke: `fbb lint --models` audits the generated ILP for
@@ -119,10 +123,43 @@ assert nodes >= 1.3, f"presolve+cuts node reduction {nodes} below the 1.3x floor
 print(f"lp bench smoke: sparse {speedup:.2f}x on large, warm iter reduction "
       f"{reduction:.2f}x, node reduction {nodes:.1f}x")
 EOF
+# Sweep lane: regenerate BENCH_sweep.json on the composed 200k-gate design
+# and hold the acceptance numbers — the warm pipeline at least 2x faster
+# than cold per-cell solves, every cell bit-identical between the two, on
+# a design comfortably past the 50k-gate scaling floor.
+cargo bench -p fbb-bench --bench sweep > /dev/null
+python3 - BENCH_sweep.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+speedup = snap["sweep_warm_speedup"]
+assert speedup >= 2.0, f"warm sweep speedup {speedup} below the 2x floor"
+assert snap["sweep_bit_identical"] == 1.0, "warm sweep diverged from cold per-cell bits"
+gates = snap["sweep_gate_count"]
+assert gates >= 50_000, f"composed design has {gates} gates, below the 50k floor"
+print(f"sweep bench: {speedup:.2f}x warm over cold on {gates:.0f} gates, "
+      f"{snap['sweep_cells']:.0f} cells bit-identical")
+EOF
+# CLI smoke: a composed-design sweep must complete warm and write a report
+# whose cells all carry hex objective bits (the difftest currency).
+sweep_json=$(mktemp /tmp/fbb_sweep_check.XXXXXX.json)
+trap 'rm -f "$tel_json" "$sweep_json"' EXIT
+cargo run --release --quiet -- sweep --compose 60000 --betas 0.05 \
+    --clusters 2,3 --levels 6 --report "$sweep_json" > /dev/null
+python3 - "$sweep_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+assert len(rep["cells"]) == 2, f"expected 2 cells, got {len(rep['cells'])}"
+assert all(len(c["leakage_bits"]) == 16 for c in rep["cells"]), "malformed objective bits"
+assert rep["preprocess_count"] == 1, "warm sweep should preprocess once per beta"
+print(f"sweep CLI smoke: {len(rep['cells'])} cells, report JSON OK")
+EOF
+
 # Design-database lane: compile-once -> solve round trip on two Table 1
 # designs, golden-fixture byte comparison, and corrupt-input smoke.
 db_dir=$(mktemp -d /tmp/fbb_db_check.XXXXXX)
-trap 'rm -f "$tel_json"; rm -rf "$db_dir"' EXIT
+trap 'rm -f "$tel_json" "$sweep_json"; rm -rf "$db_dir"' EXIT
 for design in c1355 c3540; do
     cargo run --release --quiet -- compile --design "$design" \
         -o "$db_dir/$design.fbb" --betas 0.05,0.10 --clusters 3 > /dev/null
@@ -155,7 +192,7 @@ echo "db lane: compile/solve round trips green, goldens decode, truncation rejec
 # 100-request bench-serve, then check the graceful-drain contract.
 serve_log=$(mktemp /tmp/fbb_serve_check.XXXXXX.log)
 serve_pid=""
-trap 'rm -f "$tel_json" "$serve_log"; rm -rf "$db_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null' EXIT
+trap 'rm -f "$tel_json" "$sweep_json" "$serve_log"; rm -rf "$db_dir"; [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null' EXIT
 ./target/release/fbb serve --addr 127.0.0.1:0 --workers 2 > "$serve_log" 2>&1 &
 serve_pid=$!
 for _ in $(seq 1 100); do

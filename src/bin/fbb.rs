@@ -203,6 +203,9 @@ fn usage() -> &'static str {
      [--layout] [--cleanup PCT] [--mc SAMPLES]\n  \
      fbb serve [--addr 127.0.0.1:7117] [--workers N] [--cache-designs N]\n            \
      [--queue-depth N]\n  \
+     fbb sweep (--design NAME | --netlist FILE | --compose GATES) [--rows N]\n            \
+     [--betas 0.03,0.05] [--clusters 2,3] [--levels 6,11]\n            \
+     [--node-limit N] [--time-limit SECS] [--cold] [--report FILE]\n  \
      fbb bench-serve (--design NAME | --netlist FILE.fbb) [--addr HOST:PORT]\n            \
      [--connections 4] [--requests 64] [--beta 0.05] [--clusters 3]\n  \
      fbb difftest [--cases 64] [--seed 0] [--gap-limit 0.6] [--db FILE.fbb]\n  \
@@ -215,6 +218,17 @@ fn usage() -> &'static str {
      `fbb bench-serve` drives a daemon (spawning an in-process one unless\n\
      --addr is given) and merges latency percentiles plus the cache\n\
      hit/miss split into BENCH_serve.json.\n\n\
+     `fbb sweep` runs the full beta x clusters x levels grid as one warm\n\
+     pipeline (one pre-process per beta, one ILP model per beta/levels,\n\
+     budget RHS patched per clusters), streaming one line per cell;\n\
+     --cold solves every cell from scratch instead. Results are\n\
+     bit-identical either way. --compose GATES tiles the hierarchical\n\
+     suite-block composer up to the requested gate count (50k-500k) and\n\
+     places it with the row tiler (--rows, default 64). --node-limit\n\
+     bounds each cell deterministically; --time-limit also bounds it but\n\
+     makes warm-vs-cold comparison timing-dependent. A sweep that\n\
+     completes every cell exits 0 even if individual cells are\n\
+     infeasible or budget-expired (per-cell status is in the output).\n\n\
      `fbb compile` runs generate -> place -> characterize -> STA -> path\n\
      extraction once and persists every artifact to a versioned binary\n\
      design database (docs/FORMAT.md). sta/solve/difftest accept the .fbb\n\
@@ -241,6 +255,7 @@ fn run() -> Result<(), CliError> {
         Some("sta") => sta(&args),
         Some("solve") => solve(&args),
         Some("serve") => serve(&args),
+        Some("sweep") => sweep(&args),
         Some("bench-serve") => bench_serve(&args),
         Some("difftest") => difftest(&args),
         Some("lint") => lint(&args),
@@ -916,6 +931,147 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     server.run().map_err(|e| CliError::Failure(format!("serve: {e}")))?;
     eprintln!("fbb-serve: drained cleanly");
     Ok(())
+}
+
+/// Parses a comma-separated list flag (`--betas 0.03,0.05`), with a
+/// default when absent.
+fn arg_list<T: std::str::FromStr + Clone>(
+    args: &[String],
+    flag: &str,
+    default: &[T],
+) -> Result<Vec<T>, CliError> {
+    match arg_value(args, flag) {
+        None => Ok(default.to_vec()),
+        Some(list) => list
+            .split(',')
+            .map(|item| {
+                item.trim()
+                    .parse::<T>()
+                    .map_err(|_| CliError::Failure(format!("bad value {item:?} in {flag}")))
+            })
+            .collect(),
+    }
+}
+
+/// `fbb sweep` — run the β × C × P grid over one design as a warm
+/// pipeline (see `fbb::core::sweep`), streaming one line per cell.
+fn sweep(args: &[String]) -> Result<(), CliError> {
+    let rows: u32 = arg_value(args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(64);
+    let (netlist, placement, chara);
+    if let Some(gates) = arg_value(args, "--compose") {
+        let target: usize =
+            gates.parse().map_err(|_| format!("bad gate count in --compose {gates}"))?;
+        let composed = fbb::netlist::compose("composed", &fbb::netlist::ComposeOptions::with_target(target))
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "composed {} gates in {} blocks ({} stitches)",
+            composed.netlist.gate_count(),
+            composed.blocks.len(),
+            composed.stitch_gates.len()
+        );
+        let library = Library::date09_45nm();
+        placement = fbb::placement::tile(&composed.netlist, &library, rows)
+            .map_err(|e| e.to_string())?;
+        chara = library.characterize(
+            &BodyBiasModel::date09_45nm(),
+            &BiasLadder::date09().map_err(|e| e.to_string())?,
+        );
+        netlist = composed.netlist;
+    } else if let Some(path) = arg_value(args, "--netlist") {
+        let design = load_design(args, &path)?;
+        netlist = design.netlist;
+        placement = design.placement;
+        chara = design.chara;
+    } else if let Some(name) = arg_value(args, "--design") {
+        let nl = suite::generate(&name)
+            .ok_or_else(|| format!("unknown design {name}; use a Table 1 name"))?;
+        let library = Library::date09_45nm();
+        placement = Placer::new(PlacerOptions::default())
+            .place(&nl, &library)
+            .map_err(|e| e.to_string())?;
+        chara = library.characterize(
+            &BodyBiasModel::date09_45nm(),
+            &BiasLadder::date09().map_err(|e| e.to_string())?,
+        );
+        netlist = nl;
+    } else {
+        return Err("missing --design, --netlist, or --compose".into());
+    }
+
+    let grid = fbb::core::SweepGrid {
+        betas: arg_list(args, "--betas", &[0.03, 0.05])?,
+        clusters: arg_list(args, "--clusters", &[2, 3])?,
+        levels: arg_list(args, "--levels", &[6, 11])?,
+    };
+    let options = fbb::core::SweepOptions {
+        time_limit: arg_value(args, "--time-limit")
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(Duration::from_secs_f64),
+        node_limit: arg_value(args, "--node-limit").and_then(|v| v.parse().ok()),
+        cold: arg_flag(args, "--cold"),
+    };
+    println!(
+        "sweeping {} cells over {} ({} rows, {} mode)",
+        grid.cell_count(),
+        netlist.name(),
+        placement.row_count(),
+        if options.cold { "cold" } else { "warm" }
+    );
+    println!("{:>6}  {:>4}  {:>4}  {:<10}  {:>14}  {:>7}  {:>10}", "beta", "C", "P", "status", "leakage_nw", "nodes", "ms");
+    let report = fbb::core::run_sweep(&netlist, &placement, &chara, &grid, &options, |cell| {
+        println!(
+            "{:>6.3}  {:>4}  {:>4}  {:<10}  {:>14.4}  {:>7}  {:>10.2}",
+            cell.beta,
+            cell.clusters,
+            cell.levels,
+            format!("{:?}", cell.status),
+            cell.leakage_nw,
+            cell.nodes,
+            cell.runtime.as_secs_f64() * 1e3,
+        );
+    })
+    .map_err(classify_fbb_error)?;
+    println!(
+        "swept {} cells in {:.2} s: {} pre-processes, {} model builds, {} pruned",
+        report.cells.len(),
+        report.runtime.as_secs_f64(),
+        report.preprocess_count,
+        report.model_builds,
+        report.pruned
+    );
+    if let Some(path) = arg_value(args, "--report") {
+        write_sweep_report(&report, &path)?;
+        eprintln!("report written to {path}");
+    }
+    Ok(())
+}
+
+/// Writes a sweep report as JSON (hand-formatted — the workspace has no
+/// JSON serializer dependency; same approach as the telemetry snapshot).
+fn write_sweep_report(report: &fbb::core::SweepReport, path: &str) -> Result<(), CliError> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"runtime_s\": {},\n", report.runtime.as_secs_f64()));
+    out.push_str(&format!("  \"preprocess_count\": {},\n", report.preprocess_count));
+    out.push_str(&format!("  \"model_builds\": {},\n", report.model_builds));
+    out.push_str(&format!("  \"pruned\": {},\n", report.pruned));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in report.cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"beta\": {}, \"clusters\": {}, \"levels\": {}, \"status\": \"{:?}\", \
+             \"leakage_nw\": {}, \"leakage_bits\": \"{:016x}\", \"nodes\": {}, \"runtime_s\": {}}}{}\n",
+            c.beta,
+            c.clusters,
+            c.levels,
+            c.status,
+            c.leakage_nw,
+            c.leakage_nw.to_bits(),
+            c.nodes,
+            c.runtime.as_secs_f64(),
+            if i + 1 < report.cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).map_err(|e| CliError::Failure(format!("cannot write {path}: {e}")))
 }
 
 /// `fbb bench-serve` — drive a daemon with `--connections` concurrent
