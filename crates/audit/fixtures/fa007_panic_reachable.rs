@@ -1,0 +1,39 @@
+// fbb-audit-fixture: crates/serve/src/planted_fa007.rs
+// fbb-audit-entries: fbb_serve::planted_fa007::entry_decode
+//! Planted FA007: panics reachable from a declared trust-boundary entry
+//! through the call graph (one direct macro, one waived assert).
+
+pub fn entry_decode(bytes: &[u8]) -> u64 {
+    parse_header(bytes)
+}
+
+fn parse_header(bytes: &[u8]) -> u64 {
+    if bytes.is_empty() {
+        reject_empty()
+    } else {
+        waived_length_guard(bytes)
+    }
+}
+
+fn reject_empty() -> u64 {
+    panic!("planted: decode path panics on empty input")
+}
+
+fn waived_length_guard(bytes: &[u8]) -> u64 {
+    // fbb-audit: allow(FA007) fixture demonstrates a waived reachable panic
+    assert!(bytes.len() < 1024, "planted: waived assert on a decode path");
+    u64::try_from(bytes.len()).unwrap_or(0)
+}
+
+fn clean_total(bytes: &[u8]) -> u64 {
+    bytes.first().copied().map(u64::from).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        assert_eq!(super::entry_decode(b"x"), 1);
+        assert_eq!(super::clean_total(&[]), 0);
+    }
+}

@@ -1,0 +1,28 @@
+// fbb-audit-fixture: crates/db/src/planted_fa008.rs
+//! Planted FA008: unchecked `as` narrowing casts on a codec path.
+
+fn planted_truncating_cast(v: u64) -> u32 {
+    v as u32
+}
+
+fn waived_cast(v: u64) -> u8 {
+    v as u8 // fbb-audit: allow(FA008) fixture demonstrates a waived narrowing cast
+}
+
+fn clean_widening(v: u32) -> u64 {
+    u64::from(v)
+}
+
+fn clean_checked(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_are_fine_in_tests() {
+        let v: u64 = 300;
+        assert_eq!(v as u8, 44);
+        assert_eq!(super::clean_checked(v), 300);
+    }
+}

@@ -1,0 +1,24 @@
+// fbb-audit-fixture: crates/db/src/planted_fa009.rs
+//! Planted FA009: bare slice indexing on a decode path.
+
+fn planted_bare_index(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+fn waived_index(bytes: &[u8]) -> u8 {
+    bytes[1] // fbb-audit: allow(FA009) fixture demonstrates a waived bare index
+}
+
+fn clean_get(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indexing_is_fine_in_tests() {
+        let bytes = [7u8, 8];
+        assert_eq!(bytes[0], 7);
+        assert_eq!(super::clean_get(&bytes), 7);
+    }
+}

@@ -1,0 +1,43 @@
+// fbb-audit-fixture: crates/serve/src/planted_fa010.rs
+//! Planted FA010: `Condvar::wait` outside a predicate loop, and a mutex
+//! guard held across a blocking socket read.
+
+fn planted_naked_wait(
+    queue: &std::sync::Mutex<Vec<u64>>,
+    ready: &std::sync::Condvar,
+) -> usize {
+    let guard = queue.lock().expect("queue mutex poisoned");
+    let guard = ready.wait(guard).expect("queue mutex poisoned");
+    guard.len()
+}
+
+fn waived_guard_across_read(
+    stream: &mut std::net::TcpStream,
+    state: &std::sync::Mutex<u64>,
+) -> std::io::Result<usize> {
+    let mut buf = [0u8; 4];
+    let _guard = state.lock().expect("state mutex poisoned");
+    // fbb-audit: allow(FA010) fixture demonstrates a waived blocking call under a guard
+    stream.read(&mut buf)
+}
+
+fn clean_predicate_loop(
+    queue: &std::sync::Mutex<Vec<u64>>,
+    ready: &std::sync::Condvar,
+) -> u64 {
+    let mut guard = queue.lock().expect("queue mutex poisoned");
+    while guard.is_empty() {
+        guard = ready.wait(guard).expect("queue mutex poisoned");
+    }
+    guard.pop().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn naked_waits_are_fine_in_tests() {
+        let pair = (std::sync::Mutex::new(0u64), std::sync::Condvar::new());
+        let guard = pair.0.lock().expect("test mutex poisoned");
+        drop(guard);
+    }
+}

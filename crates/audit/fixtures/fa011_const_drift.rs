@@ -1,0 +1,23 @@
+// fbb-audit-fixture: crates/serve/src/planted_fa011.rs
+//! Planted FA011: spec constants drifting from the values documented in
+//! docs/PROTOCOL.md.
+
+/// docs/PROTOCOL.md §2.1 says 16777216 — this planted value drifts.
+pub const MAX_FRAME_LEN: u32 = 4096;
+
+// fbb-audit: allow(FA011) fixture demonstrates a waived documented-constant drift
+pub const PROTOCOL_VERSION: u8 = 7;
+
+/// Matches the documented value, so it stays silent.
+pub const BUDGET_EXPIRED: u8 = 3;
+
+#[cfg(test)]
+mod tests {
+    /// Consts in test code are not spec constants.
+    const MAX_FRAME_LEN: u32 = 1;
+
+    #[test]
+    fn test_consts_do_not_drift() {
+        assert_eq!(MAX_FRAME_LEN, 1);
+    }
+}

@@ -278,16 +278,32 @@ fn parse_waivers(tokens: &[Token]) -> (Vec<Waiver>, Vec<MalformedWaiver>) {
             });
             continue;
         };
-        let rule = rest[..close].trim().to_owned();
+        let rules = rest[..close].trim().to_owned();
         let reason = rest[close + 1..].trim().to_owned();
         if reason.is_empty() {
             malformed.push(MalformedWaiver {
                 line: t.line,
-                problem: format!("waiver for {rule} carries no reason"),
+                problem: format!("waiver for {rules} carries no reason"),
             });
             continue;
         }
-        waivers.push(Waiver { rule, line: t.line, reason });
+        // `allow(FA008, FA009)` waives several rules from one comment — a
+        // single line can trip more than one deep rule at once.
+        let mut any_empty = false;
+        for rule in rules.split(',') {
+            let rule = rule.trim();
+            if rule.is_empty() {
+                any_empty = true;
+                continue;
+            }
+            waivers.push(Waiver { rule: rule.to_owned(), line: t.line, reason: reason.clone() });
+        }
+        if any_empty || rules.trim().is_empty() {
+            malformed.push(MalformedWaiver {
+                line: t.line,
+                problem: format!("empty rule id in `allow({rules})`"),
+            });
+        }
     }
     (waivers, malformed)
 }
@@ -360,6 +376,16 @@ mod tests {
         assert_eq!(c.waivers.len(), 1);
         assert_eq!(c.waivers[0].rule, "FA003");
         assert_eq!(c.waivers[0].line, 1);
+        assert!(c.malformed_waivers.is_empty());
+    }
+
+    #[test]
+    fn multi_rule_waivers_split_into_one_waiver_per_rule() {
+        let c = ctx("// fbb-audit: allow(FA008, FA009) masked fixed-table lookup\nfn f() {}\n");
+        assert_eq!(c.waivers.len(), 2);
+        assert_eq!(c.waivers[0].rule, "FA008");
+        assert_eq!(c.waivers[1].rule, "FA009");
+        assert_eq!(c.waivers[0].reason, c.waivers[1].reason);
         assert!(c.malformed_waivers.is_empty());
     }
 

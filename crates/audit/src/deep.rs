@@ -1,0 +1,440 @@
+//! The deep rules FA007–FA011: everything that needs the parser, the call
+//! graph, or cross-file state rather than a single token window.
+//!
+//! * **FA007** — panic-reachability: no function reachable from a declared
+//!   trust-boundary entry (see `audit.toml`) may transitively reach
+//!   `panic!`-family macros, `.unwrap()`/`.expect(`, or (on manifest-scoped
+//!   decode paths) bare slice indexing.
+//! * **FA008** — `as` narrowing casts on codec paths.
+//! * **FA009** — bare slice indexing on decode paths.
+//! * **FA010** — `Condvar::wait` outside a predicate loop, and lock guards
+//!   held across blocking calls, in `crates/serve`.
+//! * **FA011** — spec-constant drift between `docs/FORMAT.md` /
+//!   `docs/PROTOCOL.md` and the source constants implementing them.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::callgraph::CallGraph;
+use crate::context::FileCtx;
+use crate::manifest::Manifest;
+use crate::parse::{ParsedFile, NARROW_CAST_TARGETS};
+use crate::report::{DeepStats, Finding, TrustEntry};
+
+/// The documentation files FA011 cross-checks, relative to the workspace
+/// root.
+pub const SPEC_DOCS: [&str; 2] = ["docs/FORMAT.md", "docs/PROTOCOL.md"];
+
+/// One named numeric constant extracted from a spec document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocConst {
+    /// The `SCREAMING_CASE` name, as it must appear as a `const` in source.
+    pub name: String,
+    /// The documented value.
+    pub value: u64,
+    /// Which spec document declared it.
+    pub doc: String,
+    /// 1-based line in that document.
+    pub line: u32,
+}
+
+/// Extracts named constants from the spec documents under `root`.
+///
+/// Two shapes participate: `` `NAME` = <number> `` prose (the normative
+/// constants tables) and opcode-style table rows `| 0xNN | NAME | … |`.
+///
+/// # Errors
+///
+/// I/O errors reading a spec document. Missing documents are skipped (a
+/// fixture workspace need not carry docs).
+pub fn doc_constants(root: &Path) -> io::Result<Vec<DocConst>> {
+    let mut out = Vec::new();
+    for doc in SPEC_DOCS {
+        let path = root.join(doc);
+        if !path.is_file() {
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        for (lineno, line) in text.lines().enumerate() {
+            let line_no = u32::try_from(lineno + 1).unwrap_or(u32::MAX);
+            scan_backtick_consts(line, doc, line_no, &mut out);
+            scan_opcode_row(line, doc, line_no, &mut out);
+        }
+    }
+    // First declaration wins; a doc may restate a constant in prose.
+    out.sort_by(|a, b| (&a.name, &a.doc, a.line).cmp(&(&b.name, &b.doc, b.line)));
+    out.dedup_by(|a, b| a.name == b.name);
+    Ok(out)
+}
+
+/// `` `NAME` = 16777216 `` (optionally with `**` emphasis around `=`).
+fn scan_backtick_consts(line: &str, doc: &str, line_no: u32, out: &mut Vec<DocConst>) {
+    let mut rest = line;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        let name = &after[..close];
+        let tail = &after[close + 1..];
+        if is_const_name(name) {
+            let tail = tail.trim_start().trim_start_matches('*').trim_start();
+            if let Some(eq_rest) = tail.strip_prefix('=') {
+                let eq_rest = eq_rest.trim_start().trim_start_matches('*').trim_start();
+                if let Some(value) = leading_number(eq_rest) {
+                    out.push(DocConst {
+                        name: name.to_owned(),
+                        value,
+                        doc: doc.to_owned(),
+                        line: line_no,
+                    });
+                }
+            }
+        }
+        rest = tail;
+    }
+}
+
+/// `| 0x01 | PING | … |` — opcode/status tables.
+fn scan_opcode_row(line: &str, doc: &str, line_no: u32, out: &mut Vec<DocConst>) {
+    let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+    for pair in cells.windows(2) {
+        let (value_cell, name_cell) = (pair[0], pair[1]);
+        if !value_cell.starts_with("0x") {
+            continue;
+        }
+        let Some(value) = leading_number(value_cell) else { continue };
+        // The name may be backticked in the table.
+        let name = name_cell.trim_matches('`');
+        if is_const_name(name) && value_cell.len() == value_cell.trim().len() {
+            out.push(DocConst {
+                name: name.to_owned(),
+                value,
+                doc: doc.to_owned(),
+                line: line_no,
+            });
+        }
+    }
+}
+
+fn is_const_name(s: &str) -> bool {
+    s.len() >= 2
+        && s.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+        && s.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Parses the number at the head of `s` (`16777216 bytes`, `0xCBF43926.`).
+fn leading_number(s: &str) -> Option<u64> {
+    let token: String = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        let digits: String = hex.chars().take_while(char::is_ascii_hexdigit).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        return u64::from_str_radix(&digits, 16).ok();
+    } else {
+        s.chars().take_while(|c| c.is_ascii_digit() || *c == '_').filter(|&c| c != '_').collect()
+    };
+    if token.is_empty() {
+        return None;
+    }
+    token.parse().ok()
+}
+
+fn excluded(manifest: &Manifest, rel_path: &str) -> bool {
+    manifest.exclude.iter().any(|e| e == rel_path)
+}
+
+fn in_scope(paths: &[String], rel_path: &str) -> bool {
+    paths.iter().any(|p| rel_path.starts_with(p.as_str()))
+}
+
+fn push(out: &mut Vec<Finding>, rule: &'static str, path: &str, line: u32, col: u32, msg: String) {
+    out.push(Finding {
+        rule,
+        path: path.to_owned(),
+        line,
+        col,
+        message: msg,
+        waived: false,
+        waiver_reason: None,
+    });
+}
+
+/// Runs FA007–FA011 over the parsed workspace. `entries` are the FA007
+/// roots (manifest entries, or a fixture's declared entries);
+/// `check_missing_consts` arms the FA011 documented-but-unimplemented check
+/// (off in fixtures mode, where only planted files are scanned).
+pub fn check_deep(
+    ctxs: &[FileCtx],
+    parsed: &[ParsedFile],
+    manifest: &Manifest,
+    entries: &[String],
+    docs: &[DocConst],
+    check_missing_consts: bool,
+) -> (Vec<Finding>, DeepStats) {
+    let mut out = Vec::new();
+    let graph = CallGraph::build(parsed);
+
+    // FA007 — panic reachability from the trust boundary.
+    let mut trust = Vec::new();
+    let mut reachable_panics = 0u64;
+    for entry in entries {
+        let roots = graph.resolve_entry(entry);
+        if roots.is_empty() {
+            push(
+                &mut out,
+                "FA007",
+                "audit.toml",
+                1,
+                1,
+                format!("trust-boundary entry `{entry}` resolves to no workspace function"),
+            );
+            trust.push(TrustEntry { entry: entry.clone(), panic_free: false });
+            continue;
+        }
+        let reach = graph.reachable_from(&roots);
+        let mut clean = true;
+        for (&fn_idx, chain) in &reach {
+            let info = &graph.fns[fn_idx].info;
+            let index_scoped = in_scope(&manifest.index_paths, &info.rel_path)
+                && !excluded(manifest, &info.rel_path);
+            for src in graph.panic_sources(fn_idx, index_scoped) {
+                clean = false;
+                reachable_panics += 1;
+                let chain_text: Vec<&str> = chain
+                    .iter()
+                    .map(|&i| graph.fns[i].info.name.as_str())
+                    .collect();
+                push(
+                    &mut out,
+                    "FA007",
+                    &info.rel_path,
+                    src.line,
+                    src.col,
+                    format!(
+                        "{} reachable from trust-boundary entry `{entry}` via {}",
+                        src.what,
+                        chain_text.join(" → "),
+                    ),
+                );
+            }
+        }
+        trust.push(TrustEntry { entry: entry.clone(), panic_free: clean });
+    }
+
+    // FA008/FA009/FA010 — per-file site rules.
+    for (ctx, file) in ctxs.iter().zip(parsed) {
+        let rel = ctx.rel_path.as_str();
+        let is_excluded = excluded(manifest, rel);
+        let casts_in = in_scope(&manifest.cast_paths, rel) && !is_excluded;
+        let index_in = in_scope(&manifest.index_paths, rel) && !is_excluded;
+        let serve_in = rel.starts_with("crates/serve/src");
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            if casts_in {
+                for c in &f.casts {
+                    if NARROW_CAST_TARGETS.contains(&c.target.as_str()) {
+                        push(
+                            &mut out,
+                            "FA008",
+                            rel,
+                            c.line,
+                            c.col,
+                            format!("unchecked `as {}` narrowing cast on a codec path", c.target),
+                        );
+                    }
+                }
+            }
+            if index_in {
+                for s in &f.indexes {
+                    push(
+                        &mut out,
+                        "FA009",
+                        rel,
+                        s.line,
+                        s.col,
+                        format!("bare slice index {} on a decode path", s.what),
+                    );
+                }
+            }
+            if serve_in {
+                for w in &f.waits {
+                    if w.loop_depth == 0 {
+                        push(
+                            &mut out,
+                            "FA010",
+                            rel,
+                            w.line,
+                            w.col,
+                            format!("`.{}(…)` outside a predicate loop", w.what),
+                        );
+                    }
+                }
+                for g in &f.guard_blocking {
+                    push(&mut out, "FA010", rel, g.line, g.col, format!("blocking call {}", g.what));
+                }
+            }
+        }
+    }
+
+    // FA011 — spec-constant drift.
+    for dc in docs {
+        let mut found = false;
+        for (ctx, file) in ctxs.iter().zip(parsed) {
+            for (name, value, line) in &file.consts {
+                if name == &dc.name {
+                    found = true;
+                    if value != &dc.value {
+                        push(
+                            &mut out,
+                            "FA011",
+                            &ctx.rel_path,
+                            *line,
+                            1,
+                            format!(
+                                "const {name} = {value} drifts from {} (documented {} at line {})",
+                                dc.doc, dc.value, dc.line
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if !found && check_missing_consts {
+            push(
+                &mut out,
+                "FA011",
+                &dc.doc,
+                dc.line,
+                1,
+                format!(
+                    "documented constant `{}` = {} has no evaluable `const {}` in source",
+                    dc.name, dc.value, dc.name
+                ),
+            );
+        }
+    }
+
+    out.sort_by(|a, b| (&a.path, a.line, a.rule, a.col).cmp(&(&b.path, b.line, b.rule, b.col)));
+    out.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+
+    let stats = DeepStats {
+        parse_fns: graph.fns.len() as u64,
+        callgraph_edges: graph.edge_count,
+        panic_reachable: reachable_panics,
+        entries: trust,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileClass;
+    use crate::parse::parse_file;
+
+    fn manifest() -> Manifest {
+        Manifest {
+            entries: vec!["fbb_x::entry".into()],
+            index_paths: vec!["crates/db/src".into(), "crates/serve/src".into()],
+            cast_paths: vec!["crates/db/src".into(), "crates/serve/src".into()],
+            exclude: vec!["crates/db/src/crc.rs".into()],
+        }
+    }
+
+    fn run(files: &[(&str, &str)], entries: &[&str], docs: &[DocConst]) -> (Vec<Finding>, DeepStats) {
+        let ctxs: Vec<FileCtx> = files
+            .iter()
+            .map(|(p, s)| FileCtx::analyze(p, FileClass::Library, false, s))
+            .collect();
+        let parsed: Vec<ParsedFile> = ctxs.iter().map(|c| parse_file(c, "fbb_x")).collect();
+        let entries: Vec<String> = entries.iter().map(|s| (*s).to_owned()).collect();
+        check_deep(&ctxs, &parsed, &manifest(), &entries, docs, true)
+    }
+
+    #[test]
+    fn fa007_flags_transitive_unwrap_and_proves_clean_entries() {
+        let (findings, stats) = run(
+            &[(
+                "crates/db/src/lib.rs",
+                "pub fn entry(b: &[u8]) -> u8 { helper(b) }\n\
+                 fn helper(b: &[u8]) -> u8 { b.first().copied().unwrap() }\n\
+                 pub fn clean(b: &[u8]) -> usize { b.len() }",
+            )],
+            &["fbb_x::entry", "fbb_x::clean"],
+            &[],
+        );
+        assert!(findings.iter().any(|f| f.rule == "FA007" && f.message.contains("entry → helper")));
+        assert_eq!(stats.entries.len(), 2);
+        assert!(!stats.entries[0].panic_free);
+        assert!(stats.entries[1].panic_free);
+        assert!(stats.panic_reachable >= 1);
+    }
+
+    #[test]
+    fn fa007_unresolvable_entry_is_a_violation() {
+        let (findings, _) = run(&[("crates/db/src/lib.rs", "pub fn f() {}")], &["nope::missing"], &[]);
+        assert!(findings.iter().any(|f| f.rule == "FA007" && f.path == "audit.toml"));
+    }
+
+    #[test]
+    fn fa008_fa009_respect_scope_and_exclusions() {
+        let (findings, _) = run(
+            &[
+                ("crates/db/src/wire.rs", "pub fn f(v: u64, b: &[u8]) -> u8 { b[0] + v as u8 }"),
+                ("crates/db/src/crc.rs", "pub fn g(t: &[u32], b: u64) -> u32 { t[(b & 0xFF) as usize] }"),
+                ("crates/lp/src/x.rs", "pub fn h(v: u64, b: &[u8]) -> u8 { b[0] + v as u8 }"),
+            ],
+            &["fbb_x::f"],
+            &[],
+        );
+        assert!(findings.iter().any(|f| f.rule == "FA008" && f.path == "crates/db/src/wire.rs"));
+        assert!(findings.iter().any(|f| f.rule == "FA009" && f.path == "crates/db/src/wire.rs"));
+        assert!(!findings.iter().any(|f| f.path == "crates/db/src/crc.rs"));
+        assert!(!findings.iter().any(|f| f.rule != "FA007" && f.path == "crates/lp/src/x.rs"));
+    }
+
+    #[test]
+    fn fa010_wait_outside_loop_only_in_serve() {
+        let src = "pub fn f(cv: &Condvar, g: G) { let _ = cv.wait(g); }";
+        let (findings, _) = run(
+            &[("crates/serve/src/server.rs", src), ("crates/db/src/design.rs", src)],
+            &["fbb_x::none"],
+            &[],
+        );
+        let fa010: Vec<&Finding> = findings.iter().filter(|f| f.rule == "FA010").collect();
+        assert_eq!(fa010.len(), 1);
+        assert_eq!(fa010[0].path, "crates/serve/src/server.rs");
+    }
+
+    #[test]
+    fn fa011_flags_drift_and_missing() {
+        let docs = vec![
+            DocConst { name: "MAX_FRAME_LEN".into(), value: 16777216, doc: "docs/PROTOCOL.md".into(), line: 4 },
+            DocConst { name: "GHOST".into(), value: 7, doc: "docs/FORMAT.md".into(), line: 9 },
+        ];
+        let (findings, _) = run(
+            &[("crates/serve/src/protocol.rs", "pub const MAX_FRAME_LEN: u32 = 4096;")],
+            &["fbb_x::none"],
+            &docs,
+        );
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "FA011" && f.path == "crates/serve/src/protocol.rs"));
+        assert!(findings.iter().any(|f| f.rule == "FA011" && f.path == "docs/FORMAT.md"));
+    }
+
+    #[test]
+    fn doc_extraction_shapes() {
+        let mut out = Vec::new();
+        scan_backtick_consts("`N` must not exceed `MAX_FRAME_LEN` = 16777216 bytes (16 MiB)",
+            "docs/PROTOCOL.md", 44, &mut out);
+        scan_opcode_row("| 0x02 | LOAD | raw `.fbb` bytes | `u64` hash |", "docs/PROTOCOL.md", 91, &mut out);
+        scan_backtick_consts("Check value: `crc32(\"123456789\") = 0xCBF43926`.", "d", 1, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], DocConst { name: "MAX_FRAME_LEN".into(), value: 16777216, doc: "docs/PROTOCOL.md".into(), line: 44 });
+        assert_eq!(out[1].name, "LOAD");
+        assert_eq!(out[1].value, 2);
+    }
+}

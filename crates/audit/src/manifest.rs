@@ -1,0 +1,188 @@
+//! The checked-in `audit.toml` manifest: trust-boundary entries for the
+//! FA007 panic-reachability proof and the path scopes for the FA008/FA009
+//! decode-path rules.
+//!
+//! The parser understands exactly the TOML subset the manifest uses —
+//! `[section]` headers and `key = ["…", …]` string arrays (single- or
+//! multi-line, `#` comments allowed) — and nothing more; an unparseable
+//! line is an error, not a guess. The crate stays dependency-free.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parsed `audit.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Qualified names of the trust-boundary entry functions (FA007 roots):
+    /// suffix-matched against `crate::module::Owner::fn` names.
+    pub entries: Vec<String>,
+    /// Path prefixes where bare slice indexing is both an FA009 violation
+    /// and an FA007 panic source.
+    pub index_paths: Vec<String>,
+    /// Path prefixes where `as` narrowing casts are FA008 violations.
+    pub cast_paths: Vec<String>,
+    /// Files (workspace-relative) exempt from FA008/FA009 and from
+    /// index-as-panic-source, e.g. a masked fixed-table CRC kernel.
+    pub exclude: Vec<String>,
+}
+
+impl Manifest {
+    /// Loads `<root>/audit.toml`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` when the file does not parse or is
+    /// missing a required key.
+    pub fn load(root: &Path) -> io::Result<Manifest> {
+        let path = root.join("audit.toml");
+        let text = fs::read_to_string(&path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("{}: {e} (the deep rules need the trust-boundary manifest)", path.display()),
+            )
+        })?;
+        Manifest::parse(&text).map_err(|msg| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: {msg}", path.display()))
+        })
+    }
+
+    /// Parses manifest text. See the module docs for the accepted subset.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first unparseable line.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut m = Manifest::default();
+        let mut section = String::new();
+        let mut pending_key: Option<String> = None;
+        let mut pending_items: Vec<String> = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(open) = pending_key.take() {
+                // Continuation lines of a multi-line array.
+                let closed = line.contains(']');
+                let body = line.trim_end_matches([']', ',', ' ']);
+                parse_string_items(body, &mut pending_items)
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                if closed {
+                    assign(&mut m, &section, &open, std::mem::take(&mut pending_items))
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                } else {
+                    pending_key = Some(open);
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_owned();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = [...]`, got `{line}`", lineno + 1));
+            };
+            let key = key.trim().to_owned();
+            let value = value.trim();
+            let Some(open_rest) = value.strip_prefix('[') else {
+                return Err(format!("line {}: `{key}` must be a string array", lineno + 1));
+            };
+            if let Some(body) = open_rest.strip_suffix(']') {
+                let mut items = Vec::new();
+                parse_string_items(body, &mut items)
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                assign(&mut m, &section, &key, items)
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            } else {
+                parse_string_items(open_rest, &mut pending_items)
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                pending_key = Some(key);
+            }
+        }
+        if let Some(key) = pending_key {
+            return Err(format!("unterminated array for `{key}`"));
+        }
+        if m.entries.is_empty() {
+            return Err("`[trust_boundary] entries` is empty or missing".into());
+        }
+        Ok(m)
+    }
+}
+
+/// Drops a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"a", "b",` fragments into `out`.
+fn parse_string_items(body: &str, out: &mut Vec<String>) -> Result<(), String> {
+    for piece in body.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let inner = piece
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{piece}`"))?;
+        out.push(inner.to_owned());
+    }
+    Ok(())
+}
+
+fn assign(m: &mut Manifest, section: &str, key: &str, items: Vec<String>) -> Result<(), String> {
+    match (section, key) {
+        ("trust_boundary", "entries") => m.entries = items,
+        ("scopes", "index_paths") => m.index_paths = items,
+        ("scopes", "cast_paths") => m.cast_paths = items,
+        ("scopes", "exclude") => m.exclude = items,
+        _ => return Err(format!("unknown manifest key `[{section}] {key}`")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let m = Manifest::parse(
+            "# comment\n[trust_boundary]\nentries = [\n  \"a::b\", # why\n  \"c::d::e\",\n]\n\
+             [scopes]\nindex_paths = [\"crates/db/src\"]\ncast_paths = [\"crates/db/src\", \"crates/serve/src\"]\n\
+             exclude = [\"crates/db/src/crc.rs\"]\n",
+        )
+        .expect("parses");
+        assert_eq!(m.entries, vec!["a::b", "c::d::e"]);
+        assert_eq!(m.index_paths, vec!["crates/db/src"]);
+        assert_eq!(m.cast_paths.len(), 2);
+        assert_eq!(m.exclude, vec!["crates/db/src/crc.rs"]);
+    }
+
+    #[test]
+    fn missing_entries_is_an_error() {
+        assert!(Manifest::parse("[scopes]\nindex_paths = [\"x\"]\n").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_and_bare_words_are_errors() {
+        assert!(Manifest::parse("[trust_boundary]\nentries = [\"a\"]\nnope = [\"b\"]\n").is_err());
+        assert!(Manifest::parse("[trust_boundary]\nentries = [unquoted]\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let m = Manifest::parse("[trust_boundary]\nentries = [\"a#b\"]\n").expect("parses");
+        assert_eq!(m.entries, vec!["a#b"]);
+    }
+}

@@ -41,6 +41,31 @@ pub struct WaiverRecord {
     pub used: bool,
 }
 
+/// One trust-boundary entry's FA007 verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrustEntry {
+    /// The qualified entry name from the manifest (or fixture header).
+    pub entry: String,
+    /// Whether the panic-reachability fixpoint proved it panic-free.
+    pub panic_free: bool,
+}
+
+/// Statistics from a deep (`--deep`) run: parser/call-graph scale and the
+/// per-entry trust-boundary verdicts. The counts mirror the
+/// `audit_parse_fns` / `audit_callgraph_edges` / `audit_panic_reachable`
+/// telemetry counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeepStats {
+    /// Non-test `fn` items parsed workspace-wide.
+    pub parse_fns: u64,
+    /// Resolved call-graph edges.
+    pub callgraph_edges: u64,
+    /// Panic sites reachable from the trust boundary (0 on a clean run).
+    pub panic_reachable: u64,
+    /// Per-entry verdicts, in manifest order.
+    pub entries: Vec<TrustEntry>,
+}
+
 /// Aggregated result of a lint run.
 #[derive(Debug, Default)]
 pub struct AuditReport {
@@ -50,6 +75,8 @@ pub struct AuditReport {
     pub waivers: Vec<WaiverRecord>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Deep-run statistics (`None` on a shallow run).
+    pub deep: Option<DeepStats>,
 }
 
 impl AuditReport {
@@ -121,6 +148,20 @@ impl AuditReport {
                 w.path, w.line, w.rule, w.reason
             ));
         }
+        if let Some(deep) = &self.deep {
+            for e in &deep.entries {
+                s.push_str(&format!(
+                    "trust boundary: `{}` — {}\n",
+                    e.entry,
+                    if e.panic_free { "panic-free" } else { "NOT PROVEN panic-free" }
+                ));
+            }
+            s.push_str(&format!(
+                "deep: {} fn(s), {} call edge(s), {} panic site(s) reachable from the trust \
+                 boundary\n",
+                deep.parse_fns, deep.callgraph_edges, deep.panic_reachable
+            ));
+        }
         let waived = self.findings.iter().filter(|f| f.waived).count();
         s.push_str(&format!(
             "fbb-audit: {} file(s) scanned, {violations} violation(s), {waived} waived hit(s), \
@@ -143,6 +184,26 @@ impl AuditReport {
             counts.iter().map(|(id, n)| format!("\"{id}\": {n}")).collect();
         s.push_str(&entries.join(", "));
         s.push_str("},\n");
+        if let Some(deep) = &self.deep {
+            s.push_str("  \"deep\": {\n");
+            s.push_str(&format!("    \"audit_parse_fns\": {},\n", deep.parse_fns));
+            s.push_str(&format!("    \"audit_callgraph_edges\": {},\n", deep.callgraph_edges));
+            s.push_str(&format!("    \"audit_panic_reachable\": {},\n", deep.panic_reachable));
+            s.push_str("    \"trust_boundary\": [");
+            let rows: Vec<String> = deep
+                .entries
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{{\"entry\": \"{}\", \"panic_free\": {}}}",
+                        json_escape(&e.entry),
+                        e.panic_free
+                    )
+                })
+                .collect();
+            s.push_str(&rows.join(", "));
+            s.push_str("]\n  },\n");
+        }
         s.push_str("  \"violations\": [\n");
         let rows: Vec<String> = self
             .violations()
@@ -221,6 +282,7 @@ mod tests {
             findings: vec![finding("FA001", false), finding("FA002", true)],
             waivers: vec![],
             files_scanned: 1,
+            deep: None,
         };
         assert_eq!(report.violations().count(), 1);
         assert!(!report.is_clean());
@@ -239,6 +301,7 @@ mod tests {
                 used: false,
             }],
             files_scanned: 2,
+            deep: None,
         };
         let json = report.to_json();
         assert!(json.contains("\\\"quoted\\\""));
@@ -259,8 +322,36 @@ mod tests {
                 used: false,
             }],
             files_scanned: 1,
+            deep: None,
         };
         assert!(report.is_clean());
         assert!(report.summary().contains("stale waiver for FA003"));
+    }
+
+    #[test]
+    fn deep_stats_render_in_summary_and_json() {
+        let report = AuditReport {
+            findings: vec![],
+            waivers: vec![],
+            files_scanned: 3,
+            deep: Some(DeepStats {
+                parse_fns: 40,
+                callgraph_edges: 17,
+                panic_reachable: 0,
+                entries: vec![
+                    TrustEntry { entry: "fbb_serve::protocol::read_frame".into(), panic_free: true },
+                    TrustEntry { entry: "nope::missing".into(), panic_free: false },
+                ],
+            }),
+        };
+        let summary = report.summary();
+        assert!(summary.contains("`fbb_serve::protocol::read_frame` — panic-free"));
+        assert!(summary.contains("`nope::missing` — NOT PROVEN"));
+        assert!(summary.contains("40 fn(s), 17 call edge(s), 0 panic site(s)"));
+        let json = report.to_json();
+        assert!(json.contains("\"audit_parse_fns\": 40"));
+        assert!(json.contains("\"audit_callgraph_edges\": 17"));
+        assert!(json.contains("\"audit_panic_reachable\": 0"));
+        assert!(json.contains("{\"entry\": \"fbb_serve::protocol::read_frame\", \"panic_free\": true}"));
     }
 }

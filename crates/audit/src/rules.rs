@@ -12,57 +12,199 @@ use crate::report::Finding;
 /// Static description of one rule.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Stable identifier (`FA000`–`FA006`).
+    /// Stable identifier (`FA000`–`FA011`).
     pub id: &'static str,
     /// One-line description of the invariant.
     pub title: &'static str,
     /// How to fix a hit (or when a waiver is appropriate).
     pub hint: &'static str,
+    /// One-paragraph explanation of the invariant and why it exists
+    /// (`fbb lint --explain RULE` prints this).
+    pub doc: &'static str,
+    /// A minimal violating snippet, as planted in the rule's fixture file.
+    pub example: &'static str,
+    /// Whether the rule needs the deep pass (`fbb lint --deep`): parser,
+    /// call graph, manifest, and spec docs.
+    pub deep: bool,
 }
 
 /// All rules, in ID order.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 12] = [
     RuleInfo {
         id: "FA000",
         title: "malformed fbb-audit waiver comment",
         hint: "write `// fbb-audit: allow(RULE_ID) reason` with a non-empty reason; \
                this rule itself cannot be waived",
+        doc: "A waiver comment that does not parse — missing rule id, empty reason, or a \
+              rule id the engine does not know — silently waives nothing, which is worse \
+              than no waiver at all: the author believes a hit is covered while the gate \
+              still fires (or, if the syntax were lenient, never fires again). Malformed \
+              waivers are therefore violations in their own right, and FA000 itself can \
+              never be waived.",
+        example: "// fbb-audit: allow(FA002)\nvalue.unwrap(); // reason text is missing",
+        deep: false,
     },
     RuleInfo {
         id: "FA001",
         title: "float literal compared with == / != in a solver path",
         hint: "compare through the fbb-lp approx helpers (is_zero / is_nonzero / near) \
                or on integer bit patterns (to_bits)",
+        doc: "Exact equality against a float literal in the LP/STA solver paths is almost \
+              always a latent bug: accumulated rounding makes `x == 0.0` false for values \
+              that are zero for every numerical purpose, and the difftest harness then \
+              diverges across optimization levels. The approx helpers centralize the \
+              tolerance policy so it can be tuned in one place.",
+        example: "if reduced_cost == 0.0 { // FA001: exact float equality\n    return None;\n}",
+        deep: false,
     },
     RuleInfo {
         id: "FA002",
         title: ".unwrap() or empty-reason .expect() in non-test library code",
         hint: "propagate a Result, or use .expect(\"why this cannot fail\") with a real reason",
+        doc: "Library code owes its callers an error path, not a process abort. `.unwrap()` \
+              and `.expect(\"\")` encode \"this cannot fail\" without saying why, so the \
+              next editor cannot check the claim. An `.expect` with a real reason is \
+              allowed — it documents the invariant — and test code is exempt because a \
+              panic is the correct test-failure mechanism.",
+        example: "let design = cache.get(&key).unwrap(); // FA002 in library code",
+        deep: false,
     },
     RuleInfo {
         id: "FA003",
         title: "wall-clock read in a deterministic solver path",
         hint: "route deadlines through the fbb-lp deadline module; wall-clock belongs only \
                there, in telemetry spans, and in explicitly waived runtime reporting",
+        doc: "The solver layers must be bit-reproducible: the difftest gate compares runs \
+              across optimization levels, and any `Instant::now()`/`SystemTime` read that \
+              influences control flow makes results depend on machine load. All deadline \
+              handling goes through `fbb_lp::deadline`, which is injectable and mocked in \
+              tests; telemetry spans and waived runtime reporting are the only other \
+              legitimate clock users.",
+        example: "let t0 = std::time::Instant::now(); // FA003 in crates/core\nsolve(model);",
+        deep: false,
     },
     RuleInfo {
         id: "FA004",
         title: "telemetry name violates the per-crate prefix convention",
         hint: "counters/stats/spans must be snake_case and carry their layer's prefix \
                (lp_/bnb_/audit_ in fbb-lp, sta_/par_ in fbb-sta, ilp_/core_ in fbb-core, \
-               mc_ in fbb-variation, difftest_ in fbb-testkit, cli_ in the CLI)",
+               mc_ in fbb-variation, difftest_ in fbb-testkit, db_ in fbb-db, serve_ in \
+               fbb-serve, audit_ in fbb-audit, cli_ in the CLI)",
+        doc: "Telemetry names are a flat global namespace: the snapshot merges every \
+              layer's counters into one table, and `fbb status` groups them by prefix. A \
+              counter without its layer's prefix lands in the wrong report section and \
+              can collide with another crate's name. The convention is enforced at the \
+              call site (`fbb_telemetry::counter(\"lp_pivots\", …)`) because names are \
+              compile-time string literals.",
+        example: "fbb_telemetry::counter(\"Pivots\", 1); // FA004: not snake_case, no lp_ prefix",
+        deep: false,
     },
     RuleInfo {
         id: "FA005",
         title: "fault-injection hook referenced outside a fault-inject feature gate",
         hint: "wrap the reference in #[cfg(feature = \"fault-inject\")] or declare the \
                feature explicitly on the crate's fbb-lp dependency in Cargo.toml",
+        doc: "The fault-injection hooks flip solver behavior to prove the difftest harness \
+              catches defects. Referenced outside the `fault-inject` feature gate they \
+              would ship in release builds, where an accidentally armed hook corrupts \
+              production results. A crate that declares the feature on its fbb-lp \
+              dependency in Cargo.toml opts in deliberately and is exempt.",
+        example: "lp::fault::with_flipped_pivot_sign(|| run()); // FA005 outside #[cfg(...)]",
+        deep: false,
     },
     RuleInfo {
         id: "FA006",
         title: "import of a non-shimmed external crate",
         hint: "the offline build only provides std and the shims/ crates (rand, rand_chacha, \
                serde, proptest, criterion); add a shim or gate the dependency",
+        doc: "The workspace builds fully offline: no crates.io access exists at build time, \
+              so any `use` of a crate without a local shim under shims/ breaks the build \
+              for everyone else. The allowed roots are std/core/alloc, the workspace's \
+              fbb-* crates, and the checked-in shims. New third-party functionality means \
+              writing (or extending) a shim, not adding a registry dependency.",
+        example: "use regex::Regex; // FA006: no shims/regex crate exists",
+        deep: false,
+    },
+    RuleInfo {
+        id: "FA007",
+        title: "panic reachable from a network trust-boundary entry",
+        hint: "make every function on the call path total: return DbError/ServeError \
+               instead of panicking, replace .unwrap()/.expect with error propagation, \
+               and use .get(..) instead of bare indexing on decode paths",
+        doc: "The functions named in audit.toml's [trust_boundary] section parse bytes \
+              that arrive from the network, so any panic they can transitively reach is a \
+              remote denial-of-service: one malformed frame kills the worker thread. The \
+              deep pass builds a workspace call graph, walks every path from each entry, \
+              and reports each reachable panic site (panic!-family macros, .unwrap(), \
+              .expect(…), and — on manifest-scoped decode paths — bare slice indexing) \
+              with an example call chain. An entry that resolves to no function is itself \
+              a violation, so the proof cannot rot silently.",
+        example: "pub fn decode(b: &[u8]) -> Header { parse_magic(b) } // entry\n\
+                  fn parse_magic(b: &[u8]) -> Header { b.first().copied().unwrap().into() }",
+        deep: true,
+    },
+    RuleInfo {
+        id: "FA008",
+        title: "unchecked `as` narrowing cast on a codec path",
+        hint: "use try_from/try_into (propagating DbError/ServeError on overflow), \
+               usize::from for widening, or mask explicitly and document why truncation \
+               is intended",
+        doc: "On the wire paths (crates/db, crates/serve) an `as` cast to a narrower \
+              integer silently truncates attacker-controlled values: `len as usize` on a \
+              32-bit target, or `count as u8` after a u64 read, turns an out-of-range \
+              value into a small in-range one and defeats the length checks around it. \
+              The manifest's [scopes] cast_paths confines the rule to codec crates where \
+              every integer crosses a trust boundary; deliberate truncation (bit masks, \
+              hashes) is waived at the site with the mask visible.",
+        example: "let n = decoder.u64()? as usize; // FA008: silently truncates on 32-bit",
+        deep: true,
+    },
+    RuleInfo {
+        id: "FA009",
+        title: "bare slice index on a decode path",
+        hint: "use .get(..) / .get_mut(..) with an explicit error, or split_at checked \
+               against the length you already validated",
+        doc: "`bytes[a..b]` panics when the input is shorter than the decoder expects — \
+              which on a decode path means a malformed frame aborts the process instead \
+              of returning a decode error. The manifest's [scopes] index_paths confines \
+              the rule to the byte-level decoders; the same sites also count as FA007 \
+              panic sources, so an indexing fix discharges both rules at once. Fixed-table \
+              kernels whose indices are masked to the table size are listed in [scopes] \
+              exclude with a justification.",
+        example: "let magic = &bytes[..8]; // FA009: panics on a short frame",
+        deep: true,
+    },
+    RuleInfo {
+        id: "FA010",
+        title: "Condvar::wait outside a predicate loop, or a lock guard held across a \
+                blocking call",
+        hint: "wrap every wait in `while !predicate { guard = cv.wait(guard)? }`, and \
+               drop (or scope) Mutex guards before accept/read/write/join/sleep calls",
+        doc: "Condition variables permit spurious wakeups: a `wait` not re-checked in a \
+              loop resumes on a false signal and proceeds on a violated invariant. And a \
+              Mutex guard held across a blocking call (socket accept/read/write, join, \
+              sleep, another wait) serializes every other thread behind one slow peer — \
+              the classic server stall. The rule is scoped to crates/serve, the only \
+              crate with threads, and recognizes `drop(guard)` or guard usage inside the \
+              blocking statement as proof the hold is intentional.",
+        example: "let g = q.jobs.lock().expect(\"poisoned\");\n\
+                  let _ = q.not_empty.wait(g); // FA010: no predicate loop",
+        deep: true,
+    },
+    RuleInfo {
+        id: "FA011",
+        title: "spec constant drifts from docs/FORMAT.md or docs/PROTOCOL.md",
+        hint: "change the source constant and its spec table together (they are one \
+               edit), or fix the doc if the code is the intended value",
+        doc: "docs/FORMAT.md and docs/PROTOCOL.md are normative: external tools decode \
+              .fbb containers and speak the daemon protocol from those tables alone. The \
+              deep pass extracts every `NAME` = value and opcode-table row from the docs \
+              and cross-checks it against the workspace's `const NAME` declarations — a \
+              mismatch means shipped bytes and documented bytes disagree, which is a \
+              compatibility break no test catches. A documented constant with no source \
+              const is reported at the doc line so renames cannot orphan the spec.",
+        example: "pub const MAX_FRAME_LEN: u32 = 4096; // docs/PROTOCOL.md says 16777216",
+        deep: true,
     },
 ];
 
@@ -73,7 +215,7 @@ pub fn rule(id: &str) -> Option<&'static RuleInfo> {
 
 /// Telemetry-name prefix convention: crate-root path prefix → allowed name
 /// prefixes. Crates not listed only need snake_case names.
-const TELEMETRY_PREFIXES: [(&str, &[&str]); 8] = [
+const TELEMETRY_PREFIXES: [(&str, &[&str]); 9] = [
     ("crates/lp", &["lp_", "bnb_", "audit_"]),
     ("crates/sta", &["sta_", "par_"]),
     ("crates/core", &["ilp_", "core_"]),
@@ -81,6 +223,7 @@ const TELEMETRY_PREFIXES: [(&str, &[&str]); 8] = [
     ("crates/testkit", &["difftest_"]),
     ("crates/db", &["db_"]),
     ("crates/serve", &["serve_"]),
+    ("crates/audit", &["audit_"]),
     ("src", &["cli_"]),
 ];
 

@@ -1,0 +1,81 @@
+//! Robustness properties for the token-tree parser behind the deep rules:
+//! `parse_file` consumes every `.rs` file in the tree, so it must never
+//! panic on arbitrary input and must keep its per-function sites anchored
+//! to real line numbers.
+
+use fbb_audit::context::FileCtx;
+use fbb_audit::parse::parse_file;
+use fbb_audit::FileClass;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Bytes weighted toward the characters that steer the parser's block and
+/// call tracking: braces, parens, dots, colons, keywords' letters.
+fn rusty_bytes() -> impl Strategy<Value = Vec<u8>> {
+    let alphabet = b"\"'/*#rb\\ \n\t{}()[]=!.:;_09azAZ<>&,\xff\x00";
+    vec(0..alphabet.len(), 0..256)
+        .prop_map(move |idx| idx.into_iter().map(|i| alphabet[i]).collect())
+}
+
+/// Token soup biased toward the constructs the parser keys on: item
+/// keywords, panic macros, method calls, casts, and index brackets.
+fn rusty_items() -> impl Strategy<Value = String> {
+    let parts = [
+        "fn ", "impl ", "mod ", "const ", "struct ", "{", "}", "(", ")", "[", "]", "f",
+        "Self", "::", ".", ";", "=", "unwrap", "expect", "wait", "lock", "panic!", "as ",
+        "u8", "usize", "x", "#[test]", "#[cfg(test)]", "// c\n", "\"s\"", "0x1f", "1.5",
+        "<", ">", "for ", "while ", "loop ", "let ", "match ", "&", ",", "'a",
+    ];
+    vec(0..parts.len(), 0..96)
+        .prop_map(move |idx| idx.into_iter().map(|i| parts[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..512)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let ctx = FileCtx::analyze("crates/db/src/soup.rs", FileClass::Library, false, &source);
+        let _ = parse_file(&ctx, "fbb_db");
+    }
+
+    #[test]
+    fn parser_never_panics_on_rusty_soup(bytes in rusty_bytes()) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        let ctx = FileCtx::analyze("crates/serve/src/soup.rs", FileClass::Library, false, &source);
+        let _ = parse_file(&ctx, "fbb_serve");
+    }
+
+    #[test]
+    fn parser_sites_stay_anchored_on_item_soup(soup in rusty_items()) {
+        let lines = u32::try_from(soup.lines().count().max(1)).unwrap_or(u32::MAX);
+        let ctx = FileCtx::analyze("crates/db/src/soup.rs", FileClass::Library, false, &soup);
+        let parsed = parse_file(&ctx, "fbb_db");
+        for f in &parsed.fns {
+            prop_assert!(!f.segments.is_empty(), "every fn carries a qualified name");
+            prop_assert_eq!(f.segments.first().map(String::as_str), Some("fbb_db"));
+            let lines_of = f
+                .unwraps
+                .iter()
+                .chain(&f.indexes)
+                .map(|s| s.line)
+                .chain(f.casts.iter().map(|c| c.line));
+            for line in lines_of {
+                prop_assert!(line >= 1 && line <= lines,
+                    "site line {line} outside the {lines}-line source");
+            }
+        }
+    }
+}
+
+#[test]
+fn parser_reads_a_realistic_item() {
+    let src = "impl Decoder { fn u8(&mut self) -> u8 { self.data[0] as u8 } }";
+    let ctx = FileCtx::analyze("crates/db/src/wire.rs", FileClass::Library, false, src);
+    let parsed = parse_file(&ctx, "fbb_db");
+    assert_eq!(parsed.fns.len(), 1);
+    assert_eq!(parsed.fns[0].segments, ["fbb_db", "wire", "Decoder", "u8"]);
+    assert_eq!(parsed.fns[0].indexes.len(), 1);
+    assert_eq!(parsed.fns[0].casts.len(), 1);
+}

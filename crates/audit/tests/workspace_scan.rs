@@ -27,3 +27,37 @@ fn workspace_has_no_stale_waivers() {
         .collect();
     assert!(stale.is_empty(), "stale waivers present: {stale:?}");
 }
+
+#[test]
+fn workspace_is_deep_lint_clean() {
+    let report = fbb_audit::audit_workspace_deep(workspace_root()).expect("deep-scan workspace");
+    assert!(report.is_clean(), "workspace has deep lint violations:\n{}", report.summary());
+    let stale: Vec<String> = report
+        .waivers
+        .iter()
+        .filter(|w| !w.used)
+        .map(|w| format!("{}:{} {}", w.path, w.line, w.rule))
+        .collect();
+    assert!(stale.is_empty(), "stale waivers present under the deep pass: {stale:?}");
+}
+
+#[test]
+fn every_trust_boundary_entry_is_proven_panic_free() {
+    let report = fbb_audit::audit_workspace_deep(workspace_root()).expect("deep-scan workspace");
+    let deep = report.deep.as_ref().expect("deep pass ran");
+    assert!(!deep.entries.is_empty(), "audit.toml declares trust-boundary entries");
+    let unproven: Vec<&str> = deep
+        .entries
+        .iter()
+        .filter(|e| !e.panic_free)
+        .map(|e| e.entry.as_str())
+        .collect();
+    assert!(
+        unproven.is_empty(),
+        "trust-boundary entries with reachable panics: {unproven:?}\n{}",
+        report.summary()
+    );
+    assert!(deep.parse_fns > 500, "parser found too few fns: {}", deep.parse_fns);
+    assert!(deep.callgraph_edges > 1000, "call graph too sparse: {}", deep.callgraph_edges);
+    assert_eq!(deep.panic_reachable, 0, "panic sites reachable from the trust boundary");
+}

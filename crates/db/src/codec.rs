@@ -48,18 +48,18 @@ fn malformed(msg: String) -> DbError {
 // Cells
 
 fn encode_cell(e: &mut Encoder, cell: Cell) {
-    e.u8(cell.kind.index() as u8);
-    e.u8(cell.drive.index() as u8);
+    e.u8(u8::try_from(cell.kind.index()).expect("cell kind tables hold fewer than 256 entries"));
+    e.u8(u8::try_from(cell.drive.index()).expect("drive tables hold fewer than 256 entries"));
 }
 
 fn decode_cell(d: &mut Decoder<'_>) -> Result<Cell, DbError> {
     let kind = d.u8("cell kind")?;
     let drive = d.u8("cell drive")?;
     let kind = *CellKind::ALL
-        .get(kind as usize)
+        .get(usize::from(kind))
         .ok_or_else(|| malformed(format!("cell kind {kind} out of range")))?;
     let drive = *DriveStrength::ALL
-        .get(drive as usize)
+        .get(usize::from(drive))
         .ok_or_else(|| malformed(format!("drive strength {drive} out of range")))?;
     Ok(Cell::new(kind, drive))
 }
@@ -146,9 +146,9 @@ pub fn decode_netlist_with(bytes: &[u8], verify: Verify) -> Result<Netlist, DbEr
         let arity = cell.kind.input_count();
         let mut inputs = Vec::with_capacity(arity);
         for _ in 0..arity {
-            inputs.push(NetId::from_index(id_u32(d.varint("gate input net")?, "net id")? as usize));
+            inputs.push(NetId::from_u32(id_u32(d.varint("gate input net")?, "net id")?));
         }
-        let output = NetId::from_index(id_u32(d.varint("gate output net")?, "net id")? as usize);
+        let output = NetId::from_u32(id_u32(d.varint("gate output net")?, "net id")?);
         gates.push(Gate { cell, inputs, output });
     }
     let n_nets = d.length(3, "net table")?;
@@ -159,24 +159,24 @@ pub fn decode_netlist_with(bytes: &[u8], verify: Verify) -> Result<Netlist, DbEr
         let driver = if driver_raw == 0 {
             None
         } else {
-            Some(GateId::from_index(id_u32(driver_raw - 1, "gate id")? as usize))
+            Some(GateId::from_u32(id_u32(driver_raw - 1, "gate id")?))
         };
         let n_sinks = d.length(1, "net sink list")?;
         let mut sinks = Vec::with_capacity(n_sinks);
         for _ in 0..n_sinks {
-            sinks.push(GateId::from_index(id_u32(d.varint("net sink")?, "gate id")? as usize));
+            sinks.push(GateId::from_u32(id_u32(d.varint("net sink")?, "gate id")?));
         }
         nets.push(Net { name: net_name, driver, sinks });
     }
     let n_inputs = d.length(1, "primary inputs")?;
     let mut inputs = Vec::with_capacity(n_inputs);
     for _ in 0..n_inputs {
-        inputs.push(NetId::from_index(id_u32(d.varint("primary input")?, "net id")? as usize));
+        inputs.push(NetId::from_u32(id_u32(d.varint("primary input")?, "net id")?));
     }
     let n_outputs = d.length(1, "primary outputs")?;
     let mut outputs = Vec::with_capacity(n_outputs);
     for _ in 0..n_outputs {
-        outputs.push(NetId::from_index(id_u32(d.varint("primary output")?, "net id")? as usize));
+        outputs.push(NetId::from_u32(id_u32(d.varint("primary output")?, "net id")?));
     }
     d.expect_end("NETL")?;
     match verify {
@@ -236,15 +236,16 @@ pub fn decode_placement(bytes: &[u8]) -> Result<Placement, DbError> {
         let n_in_row = d.length(1, "row gate list")?;
         let mut row_gates = Vec::with_capacity(n_in_row);
         for _ in 0..n_in_row {
-            row_gates.push(GateId::from_index(id_u32(d.varint("row gate")?, "gate id")? as usize));
+            row_gates.push(GateId::from_u32(id_u32(d.varint("row gate")?, "gate id")?));
         }
         let used_sites = d.u32("row used sites")?;
-        rows.push(Row { id: RowId::from_index(i), gates: row_gates, used_sites });
+        let row_id = id_u32(u64::try_from(i).unwrap_or(u64::MAX), "row id")?;
+        rows.push(Row { id: RowId::from_u32(row_id), gates: row_gates, used_sites });
     }
     let n_gates = d.length(9, "placed gate table")?;
     let mut gates = Vec::with_capacity(n_gates);
     for _ in 0..n_gates {
-        let row = RowId::from_index(id_u32(d.varint("gate row")?, "row id")? as usize);
+        let row = RowId::from_u32(id_u32(d.varint("gate row")?, "row id")?);
         let site = d.u32("gate site")?;
         let width_sites = d.u32("gate width")?;
         gates.push(PlacedGate { row, site, width_sites });
@@ -388,13 +389,15 @@ pub fn decode_timing_with(
         let n_gates = d.length(1, "path gate list")?;
         let mut gates = Vec::with_capacity(n_gates);
         for _ in 0..n_gates {
-            let g = id_u32(d.varint("path gate")?, "gate id")? as usize;
+            let id = id_u32(d.varint("path gate")?, "gate id")?;
+            let g = usize::try_from(id)
+                .map_err(|_| malformed(format!("gate id {id} exceeds the platform index space")))?;
             if g >= gate_count {
                 return Err(malformed(format!(
                     "path {k} references gate g{g}, netlist has {gate_count}"
                 )));
             }
-            gates.push(GateId::from_index(g));
+            gates.push(GateId::from_u32(id));
         }
         let path = TimingPath { gates, delay_ps };
         if path.is_empty() {

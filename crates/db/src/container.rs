@@ -49,6 +49,9 @@ pub const SEC_PREP: u32 = fourcc(*b"PREP");
 /// The mandatory section order of format version 1.
 pub const SECTION_ORDER: [u32; 6] = [SEC_META, SEC_NETL, SEC_PLAC, SEC_CHAR, SEC_TIMG, SEC_PREP];
 
+/// The section count as written to the header's count field.
+pub const SECTION_COUNT: u32 = 6;
+
 /// Size of the fixed header preceding the section table.
 const FIXED_HEADER_LEN: usize = 16;
 /// Size of one section-table entry: id(4) + offset(8) + len(8) + crc(4).
@@ -89,7 +92,7 @@ pub fn write_container(payloads: &[Vec<u8>]) -> Vec<u8> {
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&HEADER_FLAGS.to_le_bytes());
-    out.extend_from_slice(&(SECTION_ORDER.len() as u32).to_le_bytes());
+    out.extend_from_slice(&SECTION_COUNT.to_le_bytes());
     let mut offset = PAYLOAD_START as u64;
     for (id, payload) in SECTION_ORDER.iter().zip(payloads) {
         out.extend_from_slice(&id.to_le_bytes());
@@ -122,7 +125,7 @@ pub fn read_container(bytes: &[u8]) -> Result<[&[u8]; 6], DbError> {
             available: bytes.len(),
         });
     }
-    if bytes[..MAGIC.len()] != MAGIC {
+    if !bytes.starts_with(&MAGIC) {
         return Err(DbError::BadMagic);
     }
     if bytes.len() < PAYLOAD_START {
@@ -132,19 +135,12 @@ pub fn read_container(bytes: &[u8]) -> Result<[&[u8]; 6], DbError> {
             available: bytes.len(),
         });
     }
-    let le16 = |at: usize| u16::from_le_bytes([bytes[at], bytes[at + 1]]);
-    let le32 = |at: usize| u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
-    let le64 = |at: usize| {
-        let mut b = [0u8; 8];
-        b.copy_from_slice(&bytes[at..at + 8]);
-        u64::from_le_bytes(b)
-    };
 
-    let version = le16(8);
+    let version = u16::from_le_bytes(le_field(bytes, 8, "version")?);
     if version != FORMAT_VERSION {
         return Err(DbError::UnsupportedVersion { found: version });
     }
-    let flags = le16(10);
+    let flags = u16::from_le_bytes(le_field(bytes, 10, "flags")?);
     if flags != HEADER_FLAGS {
         return Err(DbError::ReservedFlags(flags));
     }
@@ -153,25 +149,29 @@ pub fn read_container(bytes: &[u8]) -> Result<[&[u8]; 6], DbError> {
     // so a bit flip in any offset/length/section-CRC field is caught here
     // before those fields are trusted.
     let crc_at = PAYLOAD_START - 4;
-    let stored = le32(crc_at);
-    let computed = crc32(&bytes[..crc_at]);
+    let stored = u32::from_le_bytes(le_field(bytes, crc_at, "header crc")?);
+    let header = bytes.get(..crc_at).ok_or(DbError::Truncated {
+        context: "header and section table",
+        needed: PAYLOAD_START,
+        available: bytes.len(),
+    })?;
+    let computed = crc32(header);
     if stored != computed {
         return Err(DbError::CrcMismatch { region: "header".into(), stored, computed });
     }
 
-    let count = le32(12);
-    if count as usize != SECTION_ORDER.len() {
+    let count = u32::from_le_bytes(le_field(bytes, 12, "section count")?);
+    if count != SECTION_COUNT {
         return Err(DbError::Layout(format!(
-            "section count {count}, format v1 requires {}",
-            SECTION_ORDER.len()
+            "section count {count}, format v1 requires {SECTION_COUNT}"
         )));
     }
 
     let mut payloads: [&[u8]; 6] = [&[]; 6];
     let mut expected_offset = PAYLOAD_START as u64;
-    for (i, &expected_id) in SECTION_ORDER.iter().enumerate() {
+    for ((i, &expected_id), slot) in SECTION_ORDER.iter().enumerate().zip(&mut payloads) {
         let entry = FIXED_HEADER_LEN + i * TABLE_ENTRY_LEN;
-        let id = le32(entry);
+        let id = u32::from_le_bytes(le_field(bytes, entry, "section id")?);
         if id != expected_id {
             return Err(DbError::Layout(format!(
                 "section {i} is {}, format v1 requires {}",
@@ -179,8 +179,8 @@ pub fn read_container(bytes: &[u8]) -> Result<[&[u8]; 6], DbError> {
                 section_name(expected_id)
             )));
         }
-        let offset = le64(entry + 4);
-        let len = le64(entry + 12);
+        let offset = u64::from_le_bytes(le_field(bytes, entry + 4, "section offset")?);
+        let len = u64::from_le_bytes(le_field(bytes, entry + 12, "section length")?);
         if offset != expected_offset {
             return Err(DbError::Layout(format!(
                 "section {} starts at {offset}, expected {expected_offset} (payloads must be contiguous)",
@@ -190,32 +190,55 @@ pub fn read_container(bytes: &[u8]) -> Result<[&[u8]; 6], DbError> {
         let end = offset
             .checked_add(len)
             .ok_or_else(|| DbError::Layout(format!("section {} length overflows", section_name(id))))?;
-        if end > bytes.len() as u64 {
-            return Err(DbError::Truncated {
-                context: "section payload",
-                needed: end as usize,
-                available: bytes.len(),
-            });
-        }
-        payloads[i] = &bytes[offset as usize..end as usize];
+        let start_at = usize::try_from(offset).map_err(|_| {
+            DbError::Layout(format!("section {} offset overflows usize", section_name(id)))
+        })?;
+        let end_at = usize::try_from(end).map_err(|_| {
+            DbError::Layout(format!("section {} end overflows usize", section_name(id)))
+        })?;
+        *slot = bytes.get(start_at..end_at).ok_or(DbError::Truncated {
+            context: "section payload",
+            needed: end_at,
+            available: bytes.len(),
+        })?;
         expected_offset = end;
     }
-    if expected_offset != bytes.len() as u64 {
+    let total = u64::try_from(bytes.len())
+        .map_err(|_| DbError::Layout("file length overflows u64".into()))?;
+    if expected_offset != total {
         return Err(DbError::TrailingBytes {
             region: "last section".into(),
-            extra: (bytes.len() as u64 - expected_offset) as usize,
+            extra: usize::try_from(total - expected_offset).unwrap_or(usize::MAX),
         });
     }
 
-    for (i, &id) in SECTION_ORDER.iter().enumerate() {
+    for ((&id, payload), i) in SECTION_ORDER.iter().zip(&payloads).zip(0..) {
         let entry = FIXED_HEADER_LEN + i * TABLE_ENTRY_LEN;
-        let stored = le32(entry + 20);
-        let computed = crc32(payloads[i]);
+        let stored = u32::from_le_bytes(le_field(bytes, entry + 20, "section crc")?);
+        let computed = crc32(payload);
         if stored != computed {
             return Err(DbError::CrcMismatch { region: section_name(id), stored, computed });
         }
     }
     Ok(payloads)
+}
+
+/// Reads the `N`-byte little-endian field at `at`, with bounds enforced by
+/// construction — the read stays total even if a caller miscomputes an
+/// offset against a short buffer.
+fn le_field<const N: usize>(
+    bytes: &[u8],
+    at: usize,
+    context: &'static str,
+) -> Result<[u8; N], DbError> {
+    at.checked_add(N)
+        .and_then(|end| bytes.get(at..end))
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(DbError::Truncated {
+            context,
+            needed: N,
+            available: bytes.len().saturating_sub(at),
+        })
 }
 
 #[cfg(test)]

@@ -366,7 +366,7 @@ impl DesignDb {
 /// CLI inputs between the text netlist parser and the database decoder
 /// without relying on file extensions.
 pub fn is_design_db(bytes: &[u8]) -> bool {
-    bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] == MAGIC
+    bytes.starts_with(&MAGIC)
 }
 
 #[cfg(test)]

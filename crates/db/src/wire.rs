@@ -70,7 +70,8 @@ impl Encoder {
     /// Writes an unsigned LEB128 varint (canonical minimal form).
     pub fn varint(&mut self, mut v: u64) {
         loop {
-            let byte = (v & 0x7F) as u8;
+            let [low, ..] = v.to_le_bytes();
+            let byte = low & 0x7F;
             v >>= 7;
             if v == 0 {
                 self.buf.push(byte);
@@ -130,35 +131,44 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DbError> {
-        if self.remaining() < n {
-            return Err(DbError::Truncated { context, needed: n, available: self.remaining() });
-        }
-        let slice = &self.data[self.pos..self.pos + n];
+        let available = self.remaining();
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.data.get(self.pos..end))
+            .ok_or(DbError::Truncated { context, needed: n, available })?;
         self.pos += n;
         Ok(slice)
     }
 
+    /// Reads exactly `N` bytes as an array — the total (panic-free) footing
+    /// under every fixed-width scalar read.
+    fn arr<const N: usize>(&mut self, context: &'static str) -> Result<[u8; N], DbError> {
+        let slice = self.take(N, context)?;
+        slice
+            .try_into()
+            .map_err(|_| DbError::Truncated { context, needed: N, available: slice.len() })
+    }
+
     /// Reads one raw byte.
     pub fn u8(&mut self, context: &'static str) -> Result<u8, DbError> {
-        Ok(self.take(1, context)?[0])
+        let [b] = self.arr(context)?;
+        Ok(b)
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self, context: &'static str) -> Result<u16, DbError> {
-        let b = self.take(2, context)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        Ok(u16::from_le_bytes(self.arr(context)?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self, context: &'static str) -> Result<u32, DbError> {
-        let b = self.take(4, context)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.arr(context)?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self, context: &'static str) -> Result<u64, DbError> {
-        let b = self.take(8, context)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes(self.arr(context)?))
     }
 
     /// Reads an `f64`, rejecting NaN and infinities (format v1 rule).

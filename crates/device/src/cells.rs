@@ -78,9 +78,11 @@ impl CellKind {
         matches!(self, CellKind::Dff)
     }
 
-    /// Dense index into [`CellKind::ALL`].
-    pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&k| k == self).expect("kind is in ALL")
+    /// Dense index into [`CellKind::ALL`] (the discriminant; `ALL` lists the
+    /// variants in declaration order, which `all_matches_declaration_order`
+    /// pins down).
+    pub const fn index(self) -> usize {
+        self as usize
     }
 
     /// Canonical upper-case name, as used by the netlist text format.
@@ -314,6 +316,15 @@ mod tests {
     #[should_panic(expected = "sequential state")]
     fn dff_eval_panics() {
         let _ = CellKind::Dff.eval(&[true]);
+    }
+
+    #[test]
+    fn all_matches_declaration_order() {
+        // `CellKind::index` is the discriminant, so `ALL` must list the
+        // variants in declaration order for table lookups to line up.
+        for (i, k) in CellKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i, "ALL[{i}] = {k:?} is out of declaration order");
+        }
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub struct CellData {
 /// let lib = Library::date09_45nm();
 /// let inv = Cell::new(CellKind::Inv, DriveStrength::X1);
 /// let inv4 = Cell::new(CellKind::Inv, DriveStrength::X4);
-/// assert!(lib.delay_ps(inv4) < lib.delay_ps(inv));
-/// assert!(lib.leakage_nw(inv4) > lib.leakage_nw(inv));
+/// assert!(lib.nbb_delay_ps(inv4) < lib.nbb_delay_ps(inv));
+/// assert!(lib.nbb_leakage_nw(inv4) > lib.nbb_leakage_nw(inv));
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Library {
@@ -103,12 +103,12 @@ impl Library {
     }
 
     /// Nominal (no body bias) delay of `cell` in picoseconds.
-    pub fn delay_ps(&self, cell: Cell) -> f64 {
+    pub fn nbb_delay_ps(&self, cell: Cell) -> f64 {
         self.base[cell.kind.index()].delay_ps * cell.drive.delay_factor()
     }
 
     /// Nominal (no body bias) leakage of `cell` in nanowatts.
-    pub fn leakage_nw(&self, cell: Cell) -> f64 {
+    pub fn nbb_leakage_nw(&self, cell: Cell) -> f64 {
         self.base[cell.kind.index()].leakage_nw * cell.drive.leakage_factor()
     }
 
@@ -128,8 +128,8 @@ impl Library {
         for kind in CellKind::ALL {
             for drive in DriveStrength::ALL {
                 let cell = Cell::new(kind, drive);
-                let d0 = self.delay_ps(cell);
-                let l0 = self.leakage_nw(cell);
+                let d0 = self.nbb_delay_ps(cell);
+                let l0 = self.nbb_leakage_nw(cell);
                 for (j, v) in ladder.iter() {
                     delay[cell.index() * levels + j] = d0 * model.delay_factor(v);
                     leakage[cell.index() * levels + j] = l0 * model.leakage_multiplier(v);
@@ -240,8 +240,8 @@ mod tests {
         for kind in CellKind::ALL {
             for drive in DriveStrength::ALL {
                 let cell = Cell::new(kind, drive);
-                assert!((c.delay_ps(cell, 0) - lib.delay_ps(cell)).abs() < 1e-12);
-                assert!((c.leakage_nw(cell, 0) - lib.leakage_nw(cell)).abs() < 1e-12);
+                assert!((c.delay_ps(cell, 0) - lib.nbb_delay_ps(cell)).abs() < 1e-12);
+                assert!((c.leakage_nw(cell, 0) - lib.nbb_leakage_nw(cell)).abs() < 1e-12);
             }
         }
     }

@@ -32,8 +32,8 @@ proptest! {
         let library = Library::date09_45nm();
         let chara = library.characterize(&model, &ladder);
         let v = ladder.level(level);
-        let expect_delay = library.delay_ps(cell) * model.delay_factor(v);
-        let expect_leak = library.leakage_nw(cell) * model.leakage_multiplier(v);
+        let expect_delay = library.nbb_delay_ps(cell) * model.delay_factor(v);
+        let expect_leak = library.nbb_leakage_nw(cell) * model.leakage_multiplier(v);
         prop_assert!((chara.delay_ps(cell, level) - expect_delay).abs() < 1e-9);
         prop_assert!((chara.leakage_nw(cell, level) - expect_leak).abs() < 1e-9);
         prop_assert!(chara.delay_reduction_ps(cell, level) >= -1e-12);

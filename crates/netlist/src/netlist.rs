@@ -20,6 +20,11 @@ impl GateId {
     pub fn from_index(index: usize) -> Self {
         GateId(u32::try_from(index).expect("gate index fits in u32"))
     }
+
+    /// Builds a `GateId` from its stored `u32` form (total; decode paths).
+    pub const fn from_u32(id: u32) -> Self {
+        GateId(id)
+    }
 }
 
 impl fmt::Display for GateId {
@@ -42,6 +47,26 @@ impl NetId {
     pub fn from_index(index: usize) -> Self {
         NetId(u32::try_from(index).expect("net index fits in u32"))
     }
+
+    /// Builds a `NetId` from its stored `u32` form (total; decode paths).
+    pub const fn from_u32(id: u32) -> Self {
+        NetId(id)
+    }
+}
+
+/// Dense [`GateId`] for table row `i`, saturating instead of panicking.
+///
+/// In-memory tables are bounded by the u32 id space (ids are stored as
+/// `u32`s), so saturation is unreachable in practice; staying total keeps
+/// the traversal helpers usable on untrusted-decode paths.
+fn gate_at(i: usize) -> GateId {
+    GateId(u32::try_from(i).unwrap_or(u32::MAX))
+}
+
+/// Dense [`NetId`] for table row `i`, saturating instead of panicking (see
+/// [`gate_at`]).
+fn net_at(i: usize) -> NetId {
+    NetId(u32::try_from(i).unwrap_or(u32::MAX))
 }
 
 impl fmt::Display for NetId {
@@ -272,10 +297,7 @@ impl Netlist {
 
     /// Iterates over `(GateId, &Gate)`.
     pub fn iter_gates(&self) -> impl Iterator<Item = (GateId, &Gate)> + '_ {
-        self.gates
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (GateId::from_index(i), g))
+        self.gates.iter().enumerate().map(|(i, g)| (gate_at(i), g))
     }
 
     /// Number of sequential elements (DFFs).
@@ -314,7 +336,7 @@ impl Netlist {
             }
             pending[i] = deps;
             if deps == 0 {
-                queue.push_back(GateId::from_index(i));
+                queue.push_back(gate_at(i));
             }
         }
 
@@ -353,7 +375,7 @@ impl Netlist {
     /// arity mismatches, dangling gate outputs, or combinational cycles.
     pub fn validate(&self) -> Result<(), NetlistError> {
         for (i, net) in self.nets.iter().enumerate() {
-            let id = NetId::from_index(i);
+            let id = net_at(i);
             let is_input = self.inputs.contains(&id);
             if net.driver.is_none() && !is_input {
                 return Err(NetlistError::UndrivenNet(net.name.clone()));
@@ -365,13 +387,13 @@ impl Netlist {
         for (i, gate) in self.gates.iter().enumerate() {
             if gate.inputs.len() != gate.cell.kind.input_count() {
                 return Err(NetlistError::ArityMismatch {
-                    gate: GateId::from_index(i),
+                    gate: gate_at(i),
                     kind: gate.cell.kind,
                     got: gate.inputs.len(),
                 });
             }
             let out_net = &self.nets[gate.output.index()];
-            if out_net.driver != Some(GateId::from_index(i)) {
+            if out_net.driver != Some(gate_at(i)) {
                 return Err(NetlistError::InconsistentDriver(out_net.name.clone()));
             }
         }

@@ -17,6 +17,11 @@ impl RowId {
     pub fn from_index(index: usize) -> Self {
         RowId(u32::try_from(index).expect("row index fits in u32"))
     }
+
+    /// Builds a `RowId` from its stored `u32` form (total; decode paths).
+    pub const fn from_u32(id: u32) -> Self {
+        RowId(id)
+    }
 }
 
 impl fmt::Display for RowId {

@@ -271,7 +271,7 @@ fn cone_order(netlist: &Netlist) -> Vec<GateId> {
 /// buckets up to 24%, everything slacker in the last bucket.
 fn slack_buckets(netlist: &Netlist, library: &Library) -> Vec<u8> {
     let delays: Vec<f64> =
-        netlist.gates().iter().map(|g| library.delay_ps(g.cell)).collect();
+        netlist.gates().iter().map(|g| library.nbb_delay_ps(g.cell)).collect();
     let graph = match fbb_sta::TimingGraph::new(netlist) {
         Ok(g) => g,
         Err(_) => return vec![0; netlist.gate_count()],

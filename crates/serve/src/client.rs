@@ -120,14 +120,15 @@ impl Client {
             .ok_or_else(|| ClientError::Unexpected("server closed the connection".to_owned()))?;
         // Peek the id (bytes 2..10 of the fixed header) to find the opcode
         // this response answers.
-        if payload.len() < 10 {
-            return Err(ClientError::Proto(ProtoError::Malformed(
-                "response shorter than the fixed header".to_owned(),
-            )));
-        }
-        let id = u64::from_le_bytes(
-            payload[2..10].try_into().expect("slice of length 8 converts to [u8; 8]"),
-        );
+        let id_bytes: [u8; 8] = payload
+            .get(2..10)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| {
+                ClientError::Proto(ProtoError::Malformed(
+                    "response shorter than the fixed header".to_owned(),
+                ))
+            })?;
+        let id = u64::from_le_bytes(id_bytes);
         let opcode = self.in_flight.remove(&id).ok_or_else(|| {
             ClientError::Unexpected(format!("response for unknown request id {id}"))
         })?;

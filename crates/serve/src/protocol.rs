@@ -238,7 +238,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
     if len > MAX_FRAME_LEN {
         return Err(ProtoError::Oversized(len));
     }
-    let mut payload = vec![0u8; len as usize];
+    let len = usize::try_from(len).map_err(|_| ProtoError::Oversized(MAX_FRAME_LEN))?;
+    let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
 }
@@ -302,7 +303,11 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
         op::SHUTDOWN => Request::Shutdown,
         op::LOAD => {
             // Body = every byte after the header (see `encode_request`).
-            return Ok((request_id, Request::Load { bytes: payload[HEADER_LEN..].to_vec() }));
+            let bytes = payload
+                .get(HEADER_LEN..)
+                .ok_or_else(|| ProtoError::Malformed("LOAD body missing".into()))?
+                .to_vec();
+            return Ok((request_id, Request::Load { bytes }));
         }
         op::LOAD_PATH => Request::LoadPath { path: d.str("design path")? },
         op::SOLVE => Request::Solve(SolveRequest {

@@ -131,7 +131,9 @@ pub fn install_signal_handlers() {
             // atomic store; both arguments are valid for the lifetime of
             // the process.
             unsafe {
+                // fbb-audit: allow(FA008) signal(2) takes the handler address as usize by ABI
                 signal(SIGTERM, on_signal as *const () as usize);
+                // fbb-audit: allow(FA008) signal(2) takes the handler address as usize by ABI
                 signal(SIGINT, on_signal as *const () as usize);
             }
         }
@@ -365,8 +367,8 @@ fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Option<
     // Phase 1: the length prefix. A timeout with zero bytes read is the
     // idle case — keep polling; once any byte has arrived the frame is in
     // flight and EOF becomes an error.
-    while got < header.len() {
-        match stream.read(&mut header[got..]) {
+    while let Some(buf) = header.get_mut(got..).filter(|b| !b.is_empty()) {
+        match stream.read(buf) {
             Ok(0) => {
                 return if got == 0 {
                     Ok(None) // orderly close at a frame boundary
@@ -391,10 +393,11 @@ fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Option<
     if len > MAX_FRAME_LEN {
         return Err(ProtoError::Oversized(len));
     }
-    let mut payload = vec![0u8; len as usize];
+    let len = usize::try_from(len).map_err(|_| ProtoError::Oversized(MAX_FRAME_LEN))?;
+    let mut payload = vec![0u8; len];
     let mut got = 0usize;
-    while got < payload.len() {
-        match stream.read(&mut payload[got..]) {
+    while let Some(buf) = payload.get_mut(got..).filter(|b| !b.is_empty()) {
+        match stream.read(buf) {
             Ok(0) => return Err(ProtoError::Io(std::io::ErrorKind::UnexpectedEof.into())),
             Ok(n) => got += n,
             Err(e)
@@ -639,7 +642,13 @@ fn solve_job(job: &Job) -> Response {
             );
         }
     };
-    let clusters = req.clusters as usize;
+    let Ok(clusters) = usize::try_from(req.clusters) else {
+        return error_response(
+            job.request_id,
+            code::ERROR,
+            format!("cluster budget {} exceeds the platform index space", req.clusters),
+        );
+    };
     let Some(pre) = job.design.preprocessed_for(granularity, req.beta, clusters) else {
         return error_response(
             job.request_id,

@@ -20,6 +20,9 @@
 #     CLI smoke on a composed design with a JSON report round trip
 #   - lint gate: `fbb lint` clean over the tree AND the planted-violation
 #     fixtures trip exit code 5 (guards the analyzer against going blind)
+#   - deep-lint lane: `fbb lint --deep` (token-tree parse + workspace call
+#     graph) clean, with every audit.toml trust-boundary entry proven
+#     panic-free in the JSON report
 #   - model audit smoke: `fbb lint --models` audits the generated ILP for
 #     all 9 Table 1 designs at beta in {5%,10%} with zero structural errors
 #   - release-safe lane: fbb-core builds with --features release-safe, and
@@ -78,6 +81,22 @@ if [ "$lint_code" -ne 5 ]; then
     exit 1
 fi
 echo "lint gate: workspace clean, armed fixtures trip exit 5"
+
+# Deep-lint lane: the parser/call-graph pass must also be clean, and every
+# declared trust-boundary entry must be proven panic-free in the JSON.
+cargo run --release --quiet -- lint --deep --json | python3 -c '
+import json, sys
+rep = json.load(sys.stdin)
+deep = rep["deep"]
+entries = deep["trust_boundary"]
+assert entries, "audit.toml declares no trust-boundary entries"
+unproven = [e["entry"] for e in entries if not e["panic_free"]]
+assert not unproven, f"entries with reachable panics: {unproven}"
+assert deep["audit_panic_reachable"] == 0, "panic sites reachable from the trust boundary"
+fns, edges = deep["audit_parse_fns"], deep["audit_callgraph_edges"]
+assert fns > 500 and edges > 1000, "deep pass under-parsed the tree"
+print(f"deep lint: {fns} fns, {edges} edges, {len(entries)} trust entries proven panic-free")
+'
 
 # Layer-2 smoke: every Table 1 design's generated ILP passes the model and
 # Eq.1-4 structure audits at both paper beta points.

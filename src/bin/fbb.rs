@@ -209,7 +209,8 @@ fn usage() -> &'static str {
      fbb bench-serve (--design NAME | --netlist FILE.fbb) [--addr HOST:PORT]\n            \
      [--connections 4] [--requests 64] [--beta 0.05] [--clusters 3]\n  \
      fbb difftest [--cases 64] [--seed 0] [--gap-limit 0.6] [--db FILE.fbb]\n  \
-     fbb lint [--json] [--fixtures] [--models] [--designs a,b] [--root DIR]\n\n\
+     fbb lint [--json] [--deep] [--fixtures] [--models] [--designs a,b] [--root DIR]\n  \
+     fbb lint (--list-rules | --explain RULE)\n\n\
      `fbb serve` runs the allocation daemon (protocol: docs/PROTOCOL.md):\n\
      clients load a compiled design once into the in-memory cache, then\n\
      solve against it repeatedly. Response codes reuse the exit codes\n\
@@ -419,16 +420,43 @@ fn difftest_db(path: &str, args: &[String]) -> Result<(), CliError> {
 /// `fbb lint` — the two-layer static-analysis pass (see `DESIGN.md` §5g).
 ///
 /// Default mode lints the workspace source tree with the `fbb-audit` rule
-/// engine; any unwaived finding exits 5. `--fixtures` lints the planted
-/// violation files instead — that run must *fail* (exit 5) with every rule
-/// firing, which is how `scripts/check.sh` proves the analyzer still bites
-/// (exit 1 if a rule has gone blind). `--models` switches to Layer 2: it
+/// engine; any unwaived finding exits 5. `--deep` arms the parser /
+/// call-graph rules FA007–FA011 (trust-boundary panic-reachability, codec
+/// casts/indexing, condvar discipline, spec-constant drift) driven by
+/// `audit.toml` and the spec docs. `--fixtures` lints the planted
+/// violation files instead (deep rules always armed) — that run must
+/// *fail* (exit 5) with every rule firing, which is how
+/// `scripts/check.sh` proves the analyzer still bites (exit 1 if a rule
+/// has gone blind). `--list-rules` and `--explain RULE` print the rule
+/// table and its per-rule documentation. `--models` switches to Layer 2: it
 /// builds the FBB ILP for the Table 1 designs at β ∈ {5 %, 10 %} and runs
 /// `Model::audit` plus the Eq. 1–5 structure audit on each, exiting 5 on
 /// any structural error.
 fn lint(args: &[String]) -> Result<(), CliError> {
     if arg_flag(args, "--models") {
         return lint_models(args);
+    }
+    if arg_flag(args, "--list-rules") {
+        for r in &fbb::audit::RULES {
+            println!("{}  {}{}", r.id, r.title, if r.deep { "  [deep]" } else { "" });
+        }
+        return Ok(());
+    }
+    if let Some(id) = arg_value(args, "--explain") {
+        let wanted = id.to_ascii_uppercase();
+        let Some(r) = fbb::audit::rule(&wanted) else {
+            return Err(CliError::Failure(format!(
+                "unknown rule `{id}` (see `fbb lint --list-rules`)"
+            )));
+        };
+        println!("{} — {}{}\n", r.id, r.title, if r.deep { " (deep pass)" } else { "" });
+        println!("{}\n", r.doc);
+        println!("example:");
+        for line in r.example.lines() {
+            println!("    {}", line.trim_start());
+        }
+        println!("\nfix: {}", r.hint);
+        return Ok(());
     }
     let root = match arg_value(args, "--root") {
         Some(dir) => std::path::PathBuf::from(dir),
@@ -437,6 +465,8 @@ fn lint(args: &[String]) -> Result<(), CliError> {
     let fixtures = arg_flag(args, "--fixtures");
     let report = if fixtures {
         fbb::audit::audit_fixtures(&root)
+    } else if arg_flag(args, "--deep") {
+        fbb::audit::audit_workspace_deep(&root)
     } else {
         fbb::audit::audit_workspace(&root)
     }
